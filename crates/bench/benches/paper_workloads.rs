@@ -1,0 +1,72 @@
+//! Criterion benches over the paper's own workloads, one per
+//! model × technique corner, so the cost of each machinery path
+//! (conventional stalls, prefetch unit, speculative-load buffer) is
+//! visible in the simulator's wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_proc::Techniques;
+use mcsim_workloads::paper;
+
+fn bench_examples(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_examples");
+    for (model, t) in [
+        (Model::Sc, Techniques::NONE),
+        (Model::Sc, Techniques::BOTH),
+        (Model::Rc, Techniques::NONE),
+        (Model::Rc, Techniques::BOTH),
+    ] {
+        let label = format!("{}_{}", model.name(), t.label());
+        g.bench_with_input(
+            BenchmarkId::new("example1", &label),
+            &(model, t),
+            |b, &(model, t)| {
+                b.iter(|| {
+                    let cfg = MachineConfig::paper_with(model, t);
+                    let r = Machine::new(cfg, vec![paper::example1()]).run();
+                    assert!(!r.timed_out);
+                    r.cycles
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("example2", &label),
+            &(model, t),
+            |b, &(model, t)| {
+                b.iter(|| {
+                    let cfg = MachineConfig::paper_with(model, t);
+                    let mut m = Machine::new(cfg, vec![paper::example2()]);
+                    paper::setup_example2(&mut m);
+                    let r = m.run();
+                    assert!(!r.timed_out);
+                    r.cycles
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    c.bench_function("figure5_with_rollback", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+            let mut m = Machine::new(
+                cfg,
+                vec![paper::figure5_main(), paper::figure5_antagonist(50, 5)],
+            );
+            paper::setup_figure5(&mut m, 5);
+            let r = m.run();
+            assert!(!r.timed_out);
+            r.cycles
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_examples, bench_figure5
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches of the simulator's own throughput: simulated cycles
+//! and instructions per wall-second on representative workloads. These
+//! guard against performance regressions in the simulator implementation
+//! (the event heap, the ROB scans, the directory queues).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_proc::Techniques;
+use mcsim_workloads::generators::{array_sweep, critical_sections, CriticalSections};
+
+fn bench_array_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_sweep");
+    for n in [64usize, 256] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("sc_both", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+                let m = Machine::new(cfg, vec![array_sweep(n, false)]);
+                let r = m.run();
+                assert!(!r.timed_out);
+                r.cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_critical_sections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_sections");
+    for procs in [2usize, 4] {
+        let params = CriticalSections {
+            procs,
+            sections: 4,
+            reads: 3,
+            writes: 3,
+            locks: procs,
+            private_regions: true,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("sc_both", procs), &params, |b, p| {
+            b.iter(|| {
+                let cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+                let m = Machine::new(cfg, critical_sections(p));
+                let r = m.run();
+                assert!(!r.timed_out);
+                r.cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_array_sweep, bench_critical_sections
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E6 — the §5 equalization claim on synthetic critical-section
+//! workloads: with both techniques on, the performance of all four
+//! consistency models converges.
+
+use mcsim_bench::{base_config, markdown_table};
+use mcsim_consistency::Model;
+use mcsim_core::{format_table, model_spread, run_matrix};
+use mcsim_proc::Techniques;
+use mcsim_workloads::generators::{critical_sections, CriticalSections};
+
+fn main() {
+    for (label, params) in [
+        (
+            "uncontended (2 procs, private locks)",
+            CriticalSections {
+                procs: 2,
+                locks: 2,
+                sections: 4,
+                reads: 3,
+                writes: 3,
+                ..Default::default()
+            },
+        ),
+        (
+            "contended (4 procs, one lock)",
+            CriticalSections {
+                procs: 4,
+                locks: 1,
+                sections: 3,
+                reads: 2,
+                writes: 2,
+                ..Default::default()
+            },
+        ),
+        (
+            "mixed (4 procs, 2 locks, think time)",
+            CriticalSections {
+                procs: 4,
+                locks: 2,
+                sections: 3,
+                reads: 3,
+                writes: 2,
+                think: 40,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let rows = run_matrix(
+            &base_config(),
+            &Model::ALL,
+            &Techniques::ALL,
+            || critical_sections(&params),
+            |_| {},
+        );
+        println!(
+            "{}",
+            format_table(&format!("critical sections — {label}"), &rows)
+        );
+        println!("{}", markdown_table(&rows));
+        for t in Techniques::ALL {
+            println!(
+                "  model spread under {:<8}: {:.1}%",
+                t.label(),
+                model_spread(&rows, t) * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! E1 — Figure 1: the ordering restrictions each consistency model
+//! imposes, rendered as delay-arc matrices straight from the
+//! `mcsim-consistency` rules (so the printed table *is* the simulator's
+//! behavior, not a copy of the paper's figure).
+
+use mcsim_consistency::{table, Model};
+
+fn main() {
+    println!("{}", table::render_all());
+    println!("arc counts (strictness): ");
+    for m in Model::ALL_EXTENDED {
+        println!("  {:<3} {:>2} / 25", m.name(), table::arc_count(m));
+    }
+}

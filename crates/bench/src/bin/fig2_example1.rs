@@ -1,0 +1,25 @@
+//! E2 — Figure 2, Example 1 (producer): cycle counts across the full
+//! model × technique matrix. Paper values: SC base 301, RC base 202,
+//! SC/RC with prefetch 103.
+
+use mcsim_bench::{base_config, markdown_table};
+use mcsim_consistency::Model;
+use mcsim_core::{format_table, run_matrix};
+use mcsim_proc::Techniques;
+use mcsim_workloads::paper;
+
+fn main() {
+    let rows = run_matrix(
+        &base_config(),
+        &Model::ALL,
+        &Techniques::ALL,
+        || vec![paper::example1()],
+        |_| {},
+    );
+    println!(
+        "{}",
+        format_table("Figure 2 / Example 1 — producer (cycles)", &rows)
+    );
+    println!("{}", markdown_table(&rows));
+    println!("paper: SC base = 301, RC base = 202, SC+prefetch = RC+prefetch = 103");
+}

@@ -1,0 +1,71 @@
+//! E5 — Figure 5: the illustrative execution with a mid-flight
+//! invalidation of D, printed as an event walk (the golden-sequence
+//! assertions live in `tests/figure5_trace.rs`).
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_proc::core::EventKind;
+use mcsim_proc::Techniques;
+use mcsim_workloads::paper;
+
+fn main() {
+    let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.trace = true;
+    let new_d = 5;
+    let mut m = Machine::new(
+        cfg,
+        vec![paper::figure5_main(), paper::figure5_antagonist(50, new_d)],
+    );
+    paper::setup_figure5(&mut m, new_d);
+    let report = m.run();
+    println!("Figure 5 — SC, speculative loads + prefetch for stores");
+    println!("code: read A (dirty remote); write B; write C; read D (hit); read E[D]");
+    println!("antagonist: processor 1 writes D ≈ cycle 150 (invalidation)\n");
+    for e in &report.traces[0] {
+        let what = match &e.kind {
+            EventKind::LoadIssued {
+                addr,
+                outcome,
+                speculative,
+            } => {
+                format!(
+                    "load  {addr:<9} issued ({outcome:?}{})",
+                    if *speculative { ", speculative" } else { "" }
+                )
+            }
+            EventKind::StoreIssued { addr, outcome } => {
+                format!("store {addr:<9} issued ({outcome:?})")
+            }
+            EventKind::PrefetchIssued { addr, exclusive } => {
+                format!(
+                    "{} prefetch {addr}",
+                    if *exclusive { "read-ex" } else { "read" }
+                )
+            }
+            EventKind::Performed { addr } => format!("access {addr:<8} performed"),
+            EventKind::StoreReleased => "store released by reorder buffer".into(),
+            EventKind::SpecRetired => "speculative-load entry retired".into(),
+            EventKind::Rollback { line, squashed } => {
+                format!("INVALIDATION matched {line}: rollback, {squashed} instrs discarded & refetched")
+            }
+            EventKind::Reissue { line } => format!("invalidation matched {line}: load reissued"),
+            EventKind::RmwPartialRollback { line } => {
+                format!("match on issued RMW {line}: tail discarded")
+            }
+            EventKind::BranchMispredicted => "branch mispredicted".into(),
+            EventKind::HaltCommitted => "halt committed".into(),
+        };
+        println!("cycle {:>4}  [pc {:>2}] {}", e.cycle, e.pc, what);
+    }
+    println!();
+    print!("{}", mcsim_core::render_timeline(&report.traces, 76));
+    println!(
+        "\ntotal: {} cycles, {} rollback(s)",
+        report.cycles, report.total.rollbacks
+    );
+    println!(
+        "final: D = {}, E[D] = {:#x}",
+        report.reg(0, mcsim_isa::reg::R3),
+        report.reg(0, mcsim_isa::reg::R4)
+    );
+}

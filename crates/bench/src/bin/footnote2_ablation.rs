@@ -1,0 +1,63 @@
+//! E15 (extension) — footnote 2 ablation: the paper's detection
+//! conservatively treats false-sharing and same-value coherence events
+//! as violations. Under the update protocol the event names the written
+//! word and value, so both cases can be filtered. This experiment
+//! measures the rollbacks that conservatism costs on a falsely-shared
+//! workload.
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_isa::reg::{R1, R2};
+use mcsim_isa::ProgramBuilder;
+use mcsim_mem::Protocol;
+use mcsim_proc::Techniques;
+
+const LINE: u64 = 0x6000;
+
+fn main() {
+    println!("false-sharing ping-pong under the update protocol (SC, speculation)\n");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10}",
+        "configuration", "cycles", "rollbacks", "filtered", "r2(final)"
+    );
+    for exact in [false, true] {
+        // Reader repeatedly loads word 0 of the line while the writer
+        // updates word 1 (pure false sharing) — every update is a hazard
+        // match at line granularity.
+        let mut reader = ProgramBuilder::new("reader");
+        for _ in 0..8 {
+            reader = reader.store(0x9000u64, 1u64).load(R2, LINE);
+        }
+        let reader = reader.halt().build().unwrap();
+        let mut writer = ProgramBuilder::new("writer");
+        for i in 0..8u64 {
+            writer = writer.store(LINE + 8, i);
+        }
+        let writer = writer.halt().build().unwrap();
+
+        let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::SPECULATION);
+        cfg.mem.protocol = Protocol::Update;
+        cfg.proc.exact_update_check = exact;
+        let mut m = Machine::new(cfg, vec![reader, writer]);
+        m.write_memory(LINE, 7);
+        m.preload_cache(0, LINE, false);
+        let r = m.run();
+        assert!(!r.timed_out);
+        assert_eq!(r.reg(0, R2), 7, "the read word never changes");
+        println!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10}",
+            if exact {
+                "exact word+value check"
+            } else {
+                "conservative (paper)"
+            },
+            r.cycles,
+            r.total.rollbacks,
+            r.total.hazards_filtered,
+            r.reg(0, R2)
+        );
+        let _ = R1;
+    }
+    println!("\nthe architectural result is identical; the exact check converts");
+    println!("false-sharing rollbacks into filtered hazards (footnote 2's cost).");
+}

@@ -1,0 +1,55 @@
+//! Latency-distribution profile: where the techniques move time. Prints
+//! issue-to-perform histograms for loads and stores on the consumer
+//! workload, conventional vs full-technique, under SC.
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_proc::stats::LatencyHistogram;
+use mcsim_proc::Techniques;
+use mcsim_workloads::generators::{critical_sections, CriticalSections};
+
+fn bar(h: &LatencyHistogram) -> String {
+    use std::fmt::Write as _;
+    let total = h.count().max(1);
+    let mut out = String::new();
+    for (lo, c) in h.nonzero() {
+        let pct = c as f64 / total as f64 * 100.0;
+        let _ = writeln!(
+            out,
+            "      >= {lo:>5} cycles: {c:>5} ({pct:>5.1}%) {}",
+            "#".repeat((pct / 2.0).round() as usize)
+        );
+    }
+    out
+}
+
+fn main() {
+    let params = CriticalSections {
+        procs: 2,
+        sections: 6,
+        reads: 4,
+        writes: 4,
+        locks: 2,
+        private_regions: true,
+        ..Default::default()
+    };
+    for t in [Techniques::NONE, Techniques::BOTH] {
+        let cfg = MachineConfig::paper_with(Model::Sc, t);
+        let r = Machine::new(cfg, critical_sections(&params)).run();
+        assert!(!r.timed_out);
+        println!("== SC / {} — {} cycles ==", t.label(), r.cycles);
+        println!(
+            "  demand-load latency ({} samples):",
+            r.total.load_latency.count()
+        );
+        print!("{}", bar(&r.total.load_latency));
+        println!(
+            "  store latency ({} samples):",
+            r.total.store_latency.count()
+        );
+        print!("{}", bar(&r.total.store_latency));
+        println!();
+    }
+    println!("the techniques shift store mass from the ~128-cycle miss bucket into");
+    println!("the 1-2 cycle bucket (prefetched ownership) and overlap load misses.");
+}

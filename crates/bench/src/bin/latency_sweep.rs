@@ -1,0 +1,46 @@
+//! E12 — miss-latency sensitivity: the techniques' benefit grows with
+//! the latency they hide (the paper's large-scale-machine motivation).
+
+use mcsim_consistency::Model;
+use mcsim_core::{run_matrix, MachineConfig};
+use mcsim_mem::MemTimings;
+use mcsim_proc::Techniques;
+use mcsim_workloads::paper;
+
+fn main() {
+    println!("Example 2 consumer: cycles vs clean-miss latency\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "miss", "SC base", "SC both", "RC base", "RC both", "SC speedup"
+    );
+    for miss in [20u64, 50, 100, 200, 400] {
+        let mut base = MachineConfig::paper();
+        base.mem.timings = MemTimings::with_miss_latency(miss);
+        let rows = run_matrix(
+            &base,
+            &[Model::Sc, Model::Rc],
+            &[Techniques::NONE, Techniques::BOTH],
+            || vec![paper::example2()],
+            paper::setup_example2,
+        );
+        let get = |m: Model, t: Techniques| {
+            rows.iter()
+                .find(|r| r.model == m && r.techniques == t)
+                .unwrap()
+                .cycles
+        };
+        let (sb, sx) = (
+            get(Model::Sc, Techniques::NONE),
+            get(Model::Sc, Techniques::BOTH),
+        );
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9.2}x",
+            miss,
+            sb,
+            sx,
+            get(Model::Rc, Techniques::NONE),
+            get(Model::Rc, Techniques::BOTH),
+            sb as f64 / sx as f64
+        );
+    }
+}

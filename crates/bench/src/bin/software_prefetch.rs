@@ -1,0 +1,89 @@
+//! E14 (extension) — §6: hardware- vs software-controlled non-binding
+//! prefetch. Hardware prefetching is limited to the instruction-lookahead
+//! window; software prefetch instructions can run arbitrarily far ahead.
+//! With a small reorder buffer the difference is dramatic; with an ideal
+//! window the two converge — "it should be possible to combine [them]
+//! such that they complement one another."
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_isa::reg::R1;
+use mcsim_isa::{Program, ProgramBuilder};
+use mcsim_proc::{ProcConfig, Techniques};
+
+const LINES: usize = 24;
+const BASE: u64 = 0x10_000;
+
+/// A store sweep with software read-exclusive prefetches hoisted `dist`
+/// iterations ahead of the stores.
+fn sweep_with_sw_prefetch(dist: usize) -> Program {
+    let mut b = ProgramBuilder::new("sw-pf-sweep");
+    // Prologue: prefetch the first `dist` lines.
+    for i in 0..dist.min(LINES) {
+        b = b.prefetch(BASE + (i as u64) * 64, true);
+    }
+    for i in 0..LINES {
+        if i + dist < LINES {
+            b = b.prefetch(BASE + ((i + dist) as u64) * 64, true);
+        }
+        b = b.store(BASE + (i as u64) * 64, i as u64);
+    }
+    b.halt().build().unwrap()
+}
+
+fn sweep_plain() -> Program {
+    let mut b = ProgramBuilder::new("plain-sweep");
+    for i in 0..LINES {
+        b = b.store(BASE + (i as u64) * 64, i as u64);
+    }
+    b.halt().build().unwrap()
+}
+
+fn run(program: Program, rob: Option<usize>, hw_prefetch: bool) -> u64 {
+    let t = if hw_prefetch {
+        Techniques::PREFETCH
+    } else {
+        Techniques::NONE
+    };
+    let mut cfg = MachineConfig::paper_with(Model::Sc, t);
+    if let Some(rob) = rob {
+        cfg.proc = ProcConfig::with_window(t, rob, 4);
+    }
+    let r = Machine::new(cfg, vec![program]).run();
+    assert!(!r.timed_out);
+    assert_eq!(r.mem_word(BASE + 64), 1, "sweep stored its data");
+    let _ = R1;
+    r.cycles
+}
+
+fn main() {
+    println!("{LINES}-line store sweep under SC (cycles)\n");
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "configuration", "rob = 8", "ideal rob"
+    );
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "no prefetching",
+        run(sweep_plain(), Some(8), false),
+        run(sweep_plain(), None, false)
+    );
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "hardware prefetch (window-limited)",
+        run(sweep_plain(), Some(8), true),
+        run(sweep_plain(), None, true)
+    );
+    for dist in [4usize, 16, 24] {
+        println!(
+            "{:<44} {:>10} {:>10}",
+            format!("software prefetch, distance {dist}"),
+            run(sweep_with_sw_prefetch(dist), Some(8), false),
+            run(sweep_with_sw_prefetch(dist), None, false)
+        );
+    }
+    println!();
+    println!("with an 8-entry window the hardware prefetcher can only see a couple");
+    println!("of delayed stores at a time; software prefetches hoisted far enough");
+    println!("ahead recover the pipelining — the §6 trade-off, measured.");
+}

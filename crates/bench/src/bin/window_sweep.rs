@@ -1,0 +1,25 @@
+//! E13 — §3.2: "lookahead in the instruction stream is beneficial": the
+//! techniques only see accesses inside the reorder-buffer window, so
+//! shrinking it caps how much latency they can hide.
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig};
+use mcsim_proc::{ProcConfig, Techniques};
+use mcsim_workloads::generators::array_sweep;
+
+fn main() {
+    println!("16-line store sweep under SC with both techniques: cycles vs window\n");
+    println!("{:>10} {:>12} {:>8}", "rob size", "fetch width", "cycles");
+    for (rob, width) in [(4usize, 1usize), (8, 2), (16, 4), (32, 4), (64, 8)] {
+        let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+        cfg.proc = ProcConfig::with_window(Techniques::BOTH, rob, width);
+        let m = Machine::new(cfg, vec![array_sweep(16, true)]);
+        let r = m.run();
+        assert!(!r.timed_out);
+        println!("{:>10} {:>12} {:>8}", rob, width, r.cycles);
+    }
+    let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.proc = ProcConfig::paper(Techniques::BOTH);
+    let r = Machine::new(cfg, vec![array_sweep(16, true)]).run();
+    println!("{:>10} {:>12} {:>8}", "ideal", "ideal", r.cycles);
+}

@@ -1,0 +1,96 @@
+//! # mcsim-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's experiment index):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig1_ordering_rules` | Figure 1 — delay-arc tables per model |
+//! | `fig2_example1` | Figure 2 + §3.3 producer cycle counts |
+//! | `fig2_example2` | Figure 2 + §3.3/§4.1 consumer cycle counts |
+//! | `fig34_organization` | Figures 3–4 — machine organization dump |
+//! | `fig5_trace` | Figure 5 — the event walk-through |
+//! | `equalization` | §5 — model equalization on synthetic workloads |
+//! | `speculation_violations` | §5 — rollback rates under contention |
+//! | `prefetch_limits` | §3.3 — where prefetch fails and speculation wins |
+//! | `update_vs_invalidate` | §3.1 — write prefetch needs invalidations |
+//! | `adve_hill` | §6 — comparison against Adve–Hill early grants |
+//! | `rmw_appendix` | Appendix A — split RMWs under lock contention |
+//! | `latency_sweep` | sensitivity: miss latency 20–400 |
+//! | `window_sweep` | §3.2 — lookahead (ROB size) sensitivity |
+//!
+//! Criterion benches (`benches/`) measure the *simulator's* throughput so
+//! regressions in the implementation itself are visible.
+
+use mcsim_consistency::Model;
+use mcsim_core::{MachineConfig, MatrixRow};
+use mcsim_proc::Techniques;
+
+/// Renders rows as a markdown table (used by the figure binaries so the
+/// output can be pasted into EXPERIMENTS.md verbatim).
+#[must_use]
+pub fn markdown_table(rows: &[MatrixRow]) -> String {
+    use std::fmt::Write as _;
+    let mut techs: Vec<Techniques> = rows.iter().map(|r| r.techniques).collect();
+    techs.sort_by_key(|t| (t.prefetch, t.speculative_loads));
+    techs.dedup();
+    let mut models: Vec<Model> = rows.iter().map(|r| r.model).collect();
+    models.dedup();
+
+    let mut out = String::from("| model |");
+    for t in &techs {
+        let _ = write!(out, " {} |", t.label());
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &techs {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for m in models {
+        let _ = write!(out, "| {} |", m.name());
+        for t in &techs {
+            match rows.iter().find(|r| r.model == m && r.techniques == *t) {
+                Some(r) => {
+                    let _ = write!(out, " {} |", r.cycles);
+                }
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The standard paper-calibrated base configuration used by the figure
+/// binaries.
+#[must_use]
+pub fn base_config() -> MachineConfig {
+    MachineConfig::paper()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_core::run_matrix;
+    use mcsim_isa::ProgramBuilder;
+
+    #[test]
+    fn markdown_table_shape() {
+        let rows = run_matrix(
+            &base_config(),
+            &[Model::Sc],
+            &[Techniques::NONE, Techniques::BOTH],
+            || {
+                vec![ProgramBuilder::new("w")
+                    .store(0x1000u64, 1u64)
+                    .halt()
+                    .build()
+                    .unwrap()]
+            },
+            |_| {},
+        );
+        let t = markdown_table(&rows);
+        assert!(t.starts_with("| model |"));
+        assert!(t.contains("| SC |"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Classification of memory accesses for ordering purposes.
+
+use mcsim_isa::{Instr, MemFlavor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a memory access does and how it is classified — the information the
+/// delay-arc relation needs about each end of an arc.
+///
+/// An atomic read-modify-write both reads and writes; for ordering it is
+/// treated as carrying *both* obligations, which is why `reads` and
+/// `writes` are independent flags rather than an enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AccessClass {
+    /// The access binds a return value (loads, RMWs).
+    pub reads: bool,
+    /// The access makes a new value visible (stores, RMWs).
+    pub writes: bool,
+    /// Synchronization classification.
+    pub flavor: MemFlavor,
+}
+
+impl AccessClass {
+    /// An ordinary load.
+    pub const LOAD: AccessClass = AccessClass {
+        reads: true,
+        writes: false,
+        flavor: MemFlavor::Ordinary,
+    };
+    /// An ordinary store.
+    pub const STORE: AccessClass = AccessClass {
+        reads: false,
+        writes: true,
+        flavor: MemFlavor::Ordinary,
+    };
+    /// An acquire load (flag spin).
+    pub const ACQUIRE_LOAD: AccessClass = AccessClass {
+        reads: true,
+        writes: false,
+        flavor: MemFlavor::Acquire,
+    };
+    /// A release store (unlock / flag set).
+    pub const RELEASE_STORE: AccessClass = AccessClass {
+        reads: false,
+        writes: true,
+        flavor: MemFlavor::Release,
+    };
+    /// An acquire read-modify-write (lock acquisition).
+    pub const ACQUIRE_RMW: AccessClass = AccessClass {
+        reads: true,
+        writes: true,
+        flavor: MemFlavor::Acquire,
+    };
+
+    /// Classifies a memory instruction; `None` for non-memory instructions.
+    #[must_use]
+    pub fn of_instr(i: &Instr) -> Option<AccessClass> {
+        let flavor = i.mem_flavor()?;
+        Some(AccessClass {
+            reads: i.is_mem_read(),
+            writes: i.is_mem_write(),
+            flavor,
+        })
+    }
+
+    /// Whether this is a synchronization access.
+    #[must_use]
+    pub fn is_sync(self) -> bool {
+        self.flavor.is_sync()
+    }
+
+    /// Whether this access carries acquire semantics.
+    #[must_use]
+    pub fn is_acquire(self) -> bool {
+        self.flavor == MemFlavor::Acquire
+    }
+
+    /// Whether this access carries release semantics.
+    #[must_use]
+    pub fn is_release(self) -> bool {
+        self.flavor == MemFlavor::Release
+    }
+
+    /// The coarse [`AccessCategory`] used for outstanding-access counting.
+    #[must_use]
+    pub fn category(self) -> AccessCategory {
+        match (self.flavor, self.reads, self.writes) {
+            (MemFlavor::Acquire, _, _) => AccessCategory::Acquire,
+            (MemFlavor::Release, _, _) => AccessCategory::Release,
+            (MemFlavor::Ordinary, true, true) => AccessCategory::OrdinaryRmw,
+            (MemFlavor::Ordinary, true, false) => AccessCategory::OrdinaryLoad,
+            (MemFlavor::Ordinary, _, _) => AccessCategory::OrdinaryStore,
+        }
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match (self.reads, self.writes) {
+            (true, true) => "rmw",
+            (true, false) => "load",
+            (false, true) => "store",
+            (false, false) => "nop",
+        };
+        match self.flavor {
+            MemFlavor::Ordinary => write!(f, "{base}"),
+            MemFlavor::Acquire => write!(f, "{base}.acq"),
+            MemFlavor::Release => write!(f, "{base}.rel"),
+        }
+    }
+}
+
+/// Coarse categories for counting incomplete earlier accesses.
+///
+/// The delay-arc relation only depends on an earlier access through its
+/// class, so a *count of incomplete earlier accesses per category* is a
+/// sufficient summary to decide whether a later access may perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessCategory {
+    /// Ordinary data load.
+    OrdinaryLoad,
+    /// Ordinary data store.
+    OrdinaryStore,
+    /// Ordinary (non-sync) read-modify-write.
+    OrdinaryRmw,
+    /// Acquire access (load or RMW).
+    Acquire,
+    /// Release access (store).
+    Release,
+}
+
+impl AccessCategory {
+    /// Every category, in display order.
+    pub const ALL: [AccessCategory; 5] = [
+        AccessCategory::OrdinaryLoad,
+        AccessCategory::OrdinaryStore,
+        AccessCategory::OrdinaryRmw,
+        AccessCategory::Acquire,
+        AccessCategory::Release,
+    ];
+
+    /// A representative [`AccessClass`] for the category (used to query the
+    /// pairwise delay relation with a category as the earlier end).
+    #[must_use]
+    pub fn representative(self) -> AccessClass {
+        match self {
+            AccessCategory::OrdinaryLoad => AccessClass::LOAD,
+            AccessCategory::OrdinaryStore => AccessClass::STORE,
+            AccessCategory::OrdinaryRmw => AccessClass {
+                reads: true,
+                writes: true,
+                flavor: MemFlavor::Ordinary,
+            },
+            AccessCategory::Acquire => AccessClass::ACQUIRE_RMW,
+            AccessCategory::Release => AccessClass::RELEASE_STORE,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            AccessCategory::OrdinaryLoad => 0,
+            AccessCategory::OrdinaryStore => 1,
+            AccessCategory::OrdinaryRmw => 2,
+            AccessCategory::Acquire => 3,
+            AccessCategory::Release => 4,
+        }
+    }
+}
+
+impl fmt::Display for AccessCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessCategory::OrdinaryLoad => "load",
+            AccessCategory::OrdinaryStore => "store",
+            AccessCategory::OrdinaryRmw => "rmw",
+            AccessCategory::Acquire => "acquire",
+            AccessCategory::Release => "release",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counts of *incomplete earlier* accesses, per category, for one access
+/// about to be checked against the delay arcs.
+///
+/// Maintained by the load/store unit: increment on issue (or on entry to a
+/// buffer), decrement when the access performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outstanding {
+    counts: [u32; 5],
+}
+
+impl Outstanding {
+    /// No incomplete earlier accesses.
+    #[must_use]
+    pub fn none() -> Self {
+        Outstanding::default()
+    }
+
+    /// Records an incomplete earlier access of class `c`.
+    pub fn add(&mut self, c: AccessClass) {
+        self.counts[c.category().idx()] += 1;
+    }
+
+    /// Removes a completed access of class `c`.
+    ///
+    /// # Panics
+    /// If no access of that category was outstanding (a bookkeeping bug in
+    /// the caller).
+    pub fn remove(&mut self, c: AccessClass) {
+        let i = c.category().idx();
+        assert!(
+            self.counts[i] > 0,
+            "outstanding-set underflow for category {}",
+            c.category()
+        );
+        self.counts[i] -= 1;
+    }
+
+    /// Count outstanding in one category.
+    #[must_use]
+    pub fn count(&self, cat: AccessCategory) -> u32 {
+        self.counts[cat.idx()]
+    }
+
+    /// Total outstanding accesses.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether nothing is outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Iterates over categories with a nonzero outstanding count.
+    pub fn nonzero(&self) -> impl Iterator<Item = (AccessCategory, u32)> + '_ {
+        AccessCategory::ALL
+            .into_iter()
+            .filter_map(|cat| (self.counts[cat.idx()] > 0).then_some((cat, self.counts[cat.idx()])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_isa::reg::R1;
+    use mcsim_isa::{AddrExpr, Operand, RmwKind};
+
+    #[test]
+    fn classify_instructions() {
+        let ld = Instr::Load {
+            dst: R1,
+            addr: AddrExpr::direct(0),
+            flavor: MemFlavor::Ordinary,
+        };
+        assert_eq!(AccessClass::of_instr(&ld), Some(AccessClass::LOAD));
+
+        let rel = Instr::Store {
+            addr: AddrExpr::direct(0),
+            src: Operand::Imm(0),
+            flavor: MemFlavor::Release,
+        };
+        assert_eq!(
+            AccessClass::of_instr(&rel),
+            Some(AccessClass::RELEASE_STORE)
+        );
+
+        let tas = Instr::Rmw {
+            dst: R1,
+            addr: AddrExpr::direct(0),
+            kind: RmwKind::TestAndSet,
+            src: Operand::Imm(0),
+            flavor: MemFlavor::Acquire,
+        };
+        assert_eq!(AccessClass::of_instr(&tas), Some(AccessClass::ACQUIRE_RMW));
+
+        assert_eq!(AccessClass::of_instr(&Instr::Nop), None);
+    }
+
+    #[test]
+    fn categories_roundtrip_through_representatives() {
+        for cat in AccessCategory::ALL {
+            assert_eq!(cat.representative().category(), cat);
+        }
+    }
+
+    #[test]
+    fn outstanding_add_remove() {
+        let mut o = Outstanding::none();
+        assert!(o.is_empty());
+        o.add(AccessClass::LOAD);
+        o.add(AccessClass::LOAD);
+        o.add(AccessClass::RELEASE_STORE);
+        assert_eq!(o.count(AccessCategory::OrdinaryLoad), 2);
+        assert_eq!(o.count(AccessCategory::Release), 1);
+        assert_eq!(o.total(), 3);
+        o.remove(AccessClass::LOAD);
+        assert_eq!(o.count(AccessCategory::OrdinaryLoad), 1);
+        let nz: Vec<_> = o.nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![
+                (AccessCategory::OrdinaryLoad, 1),
+                (AccessCategory::Release, 1)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn outstanding_underflow_panics() {
+        let mut o = Outstanding::none();
+        o.remove(AccessClass::LOAD);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AccessClass::LOAD.to_string(), "load");
+        assert_eq!(AccessClass::ACQUIRE_RMW.to_string(), "rmw.acq");
+        assert_eq!(AccessClass::RELEASE_STORE.to_string(), "store.rel");
+    }
+}

@@ -1,0 +1,206 @@
+//! Experiment harness: model × technique matrices and table formatting.
+//!
+//! Every quantitative claim of the paper is a comparison across the
+//! consistency-model / technique design space; this module runs such a
+//! matrix over a workload factory and renders the rows the way
+//! EXPERIMENTS.md (and the paper's prose) reports them.
+
+use crate::machine::{Machine, MachineConfig};
+use crate::report::RunReport;
+use mcsim_consistency::Model;
+use mcsim_isa::Program;
+use mcsim_proc::Techniques;
+use serde::{Deserialize, Serialize};
+
+/// One cell of a model × technique comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixRow {
+    /// Consistency model.
+    pub model: Model,
+    /// Technique combination.
+    pub techniques: Techniques,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Full report (stats, traces).
+    pub report: RunReport,
+}
+
+/// Runs `workload` (programs + machine setup) for every model × technique
+/// combination, with `base` supplying all other configuration.
+///
+/// `workload` is called once per combination so each run gets fresh
+/// programs; `setup` primes memory/caches on the built machine.
+pub fn run_matrix(
+    base: &MachineConfig,
+    models: &[Model],
+    techniques: &[Techniques],
+    mut workload: impl FnMut() -> Vec<Program>,
+    mut setup: impl FnMut(&mut Machine),
+) -> Vec<MatrixRow> {
+    let mut rows = Vec::with_capacity(models.len() * techniques.len());
+    for &model in models {
+        for &t in techniques {
+            let mut cfg = *base;
+            cfg.model = model;
+            cfg.techniques = t;
+            cfg.proc.techniques = t;
+            let mut m = Machine::new(cfg, workload());
+            setup(&mut m);
+            let report = m.run();
+            assert!(
+                !report.timed_out,
+                "workload timed out under {model}/{t} after {} cycles",
+                report.cycles
+            );
+            rows.push(MatrixRow {
+                model,
+                techniques: t,
+                cycles: report.cycles,
+                report,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders matrix rows as a fixed-width table: one row per model, one
+/// column per technique combination (cycles), plus the speedup of the
+/// full proposal over the conventional implementation.
+#[must_use]
+pub fn format_table(title: &str, rows: &[MatrixRow]) -> String {
+    use std::fmt::Write as _;
+    let mut models: Vec<Model> = rows.iter().map(|r| r.model).collect();
+    models.dedup();
+    let mut techs: Vec<Techniques> = rows.iter().map(|r| r.techniques).collect();
+    techs.sort_by_key(|t| (t.prefetch, t.speculative_loads));
+    techs.dedup();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<6}", "model");
+    for t in &techs {
+        let _ = write!(out, " {:>10}", t.label());
+    }
+    let _ = writeln!(out, " {:>9}", "speedup");
+    for m in models {
+        let _ = write!(out, "{:<6}", m.name());
+        let mut base = None;
+        let mut best = None;
+        for t in &techs {
+            let cell = rows
+                .iter()
+                .find(|r| r.model == m && r.techniques == *t)
+                .map(|r| r.cycles);
+            match cell {
+                Some(c) => {
+                    if *t == Techniques::NONE {
+                        base = Some(c);
+                    }
+                    if *t == Techniques::BOTH {
+                        best = Some(c);
+                    }
+                    let _ = write!(out, " {c:>10}");
+                }
+                None => {
+                    let _ = write!(out, " {:>10}", "-");
+                }
+            }
+        }
+        match (base, best) {
+            (Some(b), Some(x)) if x > 0 => {
+                let _ = writeln!(out, " {:>8.2}x", b as f64 / x as f64);
+            }
+            _ => {
+                let _ = writeln!(out, " {:>9}", "-");
+            }
+        }
+    }
+    out
+}
+
+/// The largest relative spread of cycle counts across models for one
+/// technique setting: `(max - min) / min`. The paper's equalization claim
+/// is that this spread collapses once both techniques are on.
+#[must_use]
+pub fn model_spread(rows: &[MatrixRow], t: Techniques) -> f64 {
+    let cycles: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.techniques == t)
+        .map(|r| r.cycles)
+        .collect();
+    match (cycles.iter().min(), cycles.iter().max()) {
+        (Some(&min), Some(&max)) if min > 0 => (max - min) as f64 / min as f64,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_isa::ProgramBuilder;
+
+    fn two_store_workload() -> Vec<Program> {
+        vec![ProgramBuilder::new("w")
+            .store(0x1000u64, 1u64)
+            .store(0x1100u64, 2u64)
+            .halt()
+            .build()
+            .unwrap()]
+    }
+
+    #[test]
+    fn matrix_runs_all_cells() {
+        let rows = run_matrix(
+            &MachineConfig::paper(),
+            &Model::ALL,
+            &Techniques::ALL,
+            two_store_workload,
+            |_| {},
+        );
+        assert_eq!(rows.len(), 16);
+        // SC conventional is the slowest cell; RC+both among the fastest.
+        let sc_base = rows
+            .iter()
+            .find(|r| r.model == Model::Sc && r.techniques == Techniques::NONE)
+            .unwrap()
+            .cycles;
+        let rc_both = rows
+            .iter()
+            .find(|r| r.model == Model::Rc && r.techniques == Techniques::BOTH)
+            .unwrap()
+            .cycles;
+        assert!(sc_base > rc_both);
+    }
+
+    #[test]
+    fn equalization_spread_shrinks_with_both_techniques() {
+        let rows = run_matrix(
+            &MachineConfig::paper(),
+            &Model::ALL,
+            &[Techniques::NONE, Techniques::BOTH],
+            two_store_workload,
+            |_| {},
+        );
+        let before = model_spread(&rows, Techniques::NONE);
+        let after = model_spread(&rows, Techniques::BOTH);
+        assert!(
+            after < before,
+            "techniques must narrow the model gap: {before:.3} -> {after:.3}"
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = run_matrix(
+            &MachineConfig::paper(),
+            &[Model::Sc, Model::Rc],
+            &[Techniques::NONE, Techniques::BOTH],
+            two_store_workload,
+            |_| {},
+        );
+        let t = format_table("demo", &rows);
+        assert!(t.contains("SC"));
+        assert!(t.contains("RC"));
+        assert!(t.contains("speedup"));
+    }
+}

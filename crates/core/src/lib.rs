@@ -1,0 +1,33 @@
+//! # mcsim-core — the multiprocessor machine
+//!
+//! Ties N out-of-order cores ([`mcsim_proc::Processor`]) to the coherent
+//! memory system ([`mcsim_mem::MemorySystem`]) under a deterministic cycle
+//! loop, and provides everything an experiment needs around them:
+//!
+//! * [`machine`] — [`Machine`] and [`MachineConfig`]: build, pre-load
+//!   memory/caches, run to completion, get a [`RunReport`].
+//! * [`report`] — serializable run results: cycle counts, per-core and
+//!   memory statistics, final register files, event traces.
+//! * [`oracle`] — a reference *sequentially consistent* executor: it
+//!   enumerates every interleaving of the per-processor programs executed
+//!   on an atomic memory and returns the set of legal final states.
+//!   Litmus tests check that every simulated execution under SC (with any
+//!   technique combination) lands in this set — the correctness backstop
+//!   for the speculation machinery.
+//! * [`harness`] — experiment helpers: run a model × technique matrix and
+//!   format the comparison tables of EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod machine;
+pub mod oracle;
+pub mod report;
+pub mod trace;
+
+pub use harness::{format_table, model_spread, run_matrix, MatrixRow};
+pub use machine::{Machine, MachineConfig};
+pub use oracle::{sc_outcomes, OracleConfig, Outcome};
+pub use report::RunReport;
+pub use trace::render_timeline;

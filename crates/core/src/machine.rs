@@ -1,0 +1,310 @@
+//! The multiprocessor machine and its configuration.
+
+use crate::report::RunReport;
+use mcsim_consistency::Model;
+use mcsim_isa::{Addr, Program};
+use mcsim_mem::{MemConfig, MemorySystem};
+use mcsim_proc::{ProcConfig, Processor, Techniques};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to build a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Consistency model every core enforces.
+    pub model: Model,
+    /// The paper's technique switches (applied to every core).
+    pub techniques: Techniques,
+    /// Core microarchitecture (its `techniques` field is overridden by
+    /// [`MachineConfig::techniques`] at build time).
+    pub proc: ProcConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Safety bound: the run aborts (with `timed_out` set in the report)
+    /// after this many cycles.
+    pub max_cycles: u64,
+    /// Record per-core event traces (Figure 5 style).
+    pub trace: bool,
+}
+
+impl MachineConfig {
+    /// The paper's calibration: ideal frontend, 1-cycle hits, 100-cycle
+    /// clean misses, invalidation protocol, SC with both techniques off.
+    #[must_use]
+    pub fn paper() -> Self {
+        MachineConfig {
+            model: Model::Sc,
+            techniques: Techniques::NONE,
+            proc: ProcConfig::paper(Techniques::NONE),
+            mem: MemConfig::paper(),
+            max_cycles: 2_000_000,
+            trace: false,
+        }
+    }
+
+    /// Paper calibration with a chosen model and techniques.
+    #[must_use]
+    pub fn paper_with(model: Model, techniques: Techniques) -> Self {
+        MachineConfig {
+            model,
+            techniques,
+            proc: ProcConfig::paper(techniques),
+            ..Self::paper()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper()
+    }
+}
+
+/// A shared-memory multiprocessor: one program per processor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    procs: Vec<Processor>,
+    cycle: u64,
+}
+
+impl Machine {
+    /// Builds a machine with one core per program.
+    ///
+    /// # Panics
+    /// If `programs` is empty or a configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: MachineConfig, programs: Vec<Program>) -> Self {
+        assert!(!programs.is_empty(), "need at least one program");
+        let mem = MemorySystem::new(cfg.mem, programs.len());
+        let mut proc_cfg = cfg.proc;
+        proc_cfg.techniques = cfg.techniques;
+        let procs = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, prog)| {
+                let mut p = Processor::new(i, proc_cfg, cfg.model, prog);
+                if cfg.trace {
+                    p.enable_trace();
+                }
+                p
+            })
+            .collect();
+        Machine {
+            cfg,
+            mem,
+            procs,
+            cycle: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Writes the initial memory image (call before running).
+    pub fn write_memory(&mut self, addr: impl Into<Addr>, value: u64) {
+        self.mem.write_initial(addr.into(), value);
+    }
+
+    /// Pre-warms a processor's cache with a line (the paper's examples
+    /// assume, e.g., `read D (hit)`).
+    pub fn preload_cache(&mut self, proc: usize, addr: impl Into<Addr>, exclusive: bool) {
+        self.mem.preload(proc, addr.into(), exclusive);
+    }
+
+    /// The coherent value of an address right now.
+    #[must_use]
+    pub fn read_memory(&self, addr: impl Into<Addr>) -> u64 {
+        self.mem.read_coherent(addr.into())
+    }
+
+    /// Access to a core (for inspecting registers/stats mid-run).
+    #[must_use]
+    pub fn proc(&self, i: usize) -> &Processor {
+        &self.procs[i]
+    }
+
+    /// The memory system (for inspecting stats mid-run).
+    #[must_use]
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances one cycle; returns `true` when every core has halted.
+    pub fn step(&mut self) -> bool {
+        self.mem.tick(self.cycle);
+        let mut all_halted = true;
+        for p in &mut self.procs {
+            p.tick(self.cycle, &mut self.mem);
+            all_halted &= p.halted();
+        }
+        self.cycle += 1;
+        all_halted
+    }
+
+    /// Runs to completion (or `max_cycles`) and produces the report.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        let mut timed_out = true;
+        while self.cycle < self.cfg.max_cycles {
+            if self.step() {
+                timed_out = false;
+                break;
+            }
+        }
+        self.into_report(timed_out)
+    }
+
+    /// Finalizes a (possibly manually stepped) machine into a report.
+    #[must_use]
+    pub fn into_report(mut self, timed_out: bool) -> RunReport {
+        let cycles = self
+            .procs
+            .iter()
+            .map(|p| p.stats().halted_at)
+            .max()
+            .unwrap_or(0);
+        let per_proc: Vec<_> = self.procs.iter().map(|p| *p.stats()).collect();
+        let mut total = mcsim_proc::ProcStats::default();
+        for s in &per_proc {
+            total.merge(s);
+        }
+        let regfiles = self.procs.iter().map(|p| p.regfile().clone()).collect();
+        let traces = self.procs.iter_mut().map(Processor::take_trace).collect();
+        RunReport {
+            cycles,
+            timed_out,
+            per_proc,
+            total,
+            mem: *self.mem.stats(),
+            regfiles,
+            traces,
+            memory: self.mem.snapshot_coherent(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_isa::reg::{R1, R2};
+    use mcsim_isa::ProgramBuilder;
+
+    #[test]
+    fn two_processor_message_passing_eventually_delivers() {
+        // P0: data = 42; flag = 1 (release).
+        // P1: spin flag == 1 (acquire); read data.
+        let p0 = ProgramBuilder::new("producer")
+            .store(0x1000u64, 42u64)
+            .store_release(0x2000u64, 1u64)
+            .halt()
+            .build()
+            .unwrap();
+        let p1 = ProgramBuilder::new("consumer")
+            .spin_until(0x2000, 1, R1)
+            .load(R2, 0x1000u64)
+            .halt()
+            .build()
+            .unwrap();
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                let cfg = MachineConfig::paper_with(model, t);
+                let report = Machine::new(cfg, vec![p0.clone(), p1.clone()]).run();
+                assert!(!report.timed_out, "{model}/{t} timed out");
+                assert_eq!(report.reg(1, R2), 42, "{model}/{t}: data must follow flag");
+            }
+        }
+    }
+
+    #[test]
+    fn single_core_report_fields() {
+        let prog = ProgramBuilder::new("t")
+            .store(0x100u64, 5u64)
+            .halt()
+            .build()
+            .unwrap();
+        let report = Machine::new(MachineConfig::paper(), vec![prog]).run();
+        assert!(!report.timed_out);
+        assert_eq!(report.per_proc.len(), 1);
+        assert!(report.cycles >= 100);
+        assert_eq!(report.total.stores, 1);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        // A genuine infinite spin: flag never set.
+        let prog = ProgramBuilder::new("t")
+            .spin_until(0x2000, 1, R1)
+            .halt()
+            .build()
+            .unwrap();
+        let mut cfg = MachineConfig::paper_with(Model::Rc, Techniques::BOTH);
+        cfg.max_cycles = 5_000;
+        let report = Machine::new(cfg, vec![prog]).run();
+        assert!(report.timed_out);
+    }
+
+    #[test]
+    fn preload_makes_first_access_hit() {
+        let prog = ProgramBuilder::new("t")
+            .load(R1, 0x100u64)
+            .halt()
+            .build()
+            .unwrap();
+        let mut m = Machine::new(MachineConfig::paper(), vec![prog]);
+        m.write_memory(0x100u64, 9);
+        m.preload_cache(0, 0x100u64, false);
+        let report = m.run();
+        assert_eq!(report.reg(0, R1), 9);
+        assert!(report.cycles < 10, "preloaded line hits: {}", report.cycles);
+        assert_eq!(report.mem.demand_hits, 1);
+    }
+
+    #[test]
+    fn contended_lock_serializes_critical_sections() {
+        // Both processors increment a counter under a lock; the final
+        // value must be exactly 2 under every model/technique combination
+        // (atomicity + mutual exclusion).
+        let worker = |name: &str| {
+            ProgramBuilder::new(name)
+                .lock(0x40, R1)
+                .load(R2, 0x1000u64)
+                .alu(R2, mcsim_isa::AluOp::Add, R2, 1u64)
+                .store(0x1000u64, R2)
+                .unlock(0x40)
+                .halt()
+                .build()
+                .unwrap()
+        };
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                let cfg = MachineConfig::paper_with(model, t);
+                let mut m = Machine::new(cfg, vec![worker("w0"), worker("w1")]);
+                m.write_memory(0x1000u64, 0);
+                let report = m.run();
+                assert!(!report.timed_out, "{model}/{t}");
+                assert_eq!(
+                    report.mem_word(0x1000),
+                    2,
+                    "{model}/{t}: lost update — mutual exclusion broken"
+                );
+                assert_eq!(report.mem_word(0x40), 0, "{model}/{t}: lock released");
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The sequential-consistency oracle.
+//!
+//! Lamport's definition: an execution is sequentially consistent when its
+//! result equals that of *some* interleaving of the per-processor
+//! programs executed one-instruction-at-a-time against an atomic memory.
+//! This module enumerates all such interleavings by exhaustive DFS over
+//! the machine-state graph (with visited-state pruning, so spin loops
+//! terminate) and returns the set of reachable final states.
+//!
+//! Litmus tests use it as the correctness backstop: every simulated
+//! execution under SC — with prefetching, speculative loads, or both —
+//! must land in this set. Executions under relaxed models of *data-race-
+//! free* programs must land in it too (§5 of the paper: RC architectures
+//! provide SC for programs free of data races).
+
+use mcsim_isa::{Instr, Program, NUM_REGS};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Bounds for the exhaustive enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Maximum distinct machine states to explore before giving up.
+    pub max_states: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// A final machine state: registers per processor plus touched memory.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Final register values, `regs[proc][reg]`.
+    pub regs: Vec<Vec<u64>>,
+    /// Final values of every address any interleaving wrote (reads do not
+    /// appear), plus the initial image.
+    pub memory: BTreeMap<u64, u64>,
+}
+
+impl Outcome {
+    /// Register value accessor.
+    #[must_use]
+    pub fn reg(&self, proc: usize, r: mcsim_isa::RegId) -> u64 {
+        self.regs[proc][r.index()]
+    }
+
+    /// Memory value (0 if untouched).
+    #[must_use]
+    pub fn mem(&self, addr: u64) -> u64 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+/// The enumeration result.
+#[derive(Debug, Clone)]
+pub struct OracleResult {
+    /// Reachable final states.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Whether the state space was exhausted (false = `max_states` hit;
+    /// the outcome set is a subset).
+    pub complete: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    pcs: Vec<u32>,
+    regs: Vec<Vec<u64>>,
+    mem: Vec<(u64, u64)>, // sorted — hashable form of the map
+}
+
+impl State {
+    fn mem_map(&self) -> BTreeMap<u64, u64> {
+        self.mem.iter().copied().collect()
+    }
+}
+
+fn halted(prog: &Program, pc: u32) -> bool {
+    matches!(prog.fetch(pc as usize), Some(Instr::Halt) | None)
+}
+
+/// Executes one instruction of processor `p` atomically. Returns `false`
+/// if the processor is already halted.
+fn step(programs: &[Program], st: &State, p: usize) -> Option<State> {
+    let prog = &programs[p];
+    let pc = st.pcs[p];
+    let instr = prog.fetch(pc as usize)?;
+    if matches!(instr, Instr::Halt) {
+        return None;
+    }
+    let mut mem = st.mem_map();
+    let mut regs = st.regs.clone();
+    let mut pcs = st.pcs.clone();
+    let read_reg = |regs: &Vec<Vec<u64>>, r: mcsim_isa::RegId| regs[p][r.index()];
+    let read_op = |regs: &Vec<Vec<u64>>, o: &mcsim_isa::Operand| match o {
+        mcsim_isa::Operand::Imm(v) => *v,
+        mcsim_isa::Operand::Reg(r) => regs[p][r.index()],
+    };
+    match instr {
+        Instr::Load { dst, addr, .. } => {
+            let a = addr.eval(|r| read_reg(&regs, r)).0;
+            regs[p][dst.index()] = mem.get(&a).copied().unwrap_or(0);
+            pcs[p] = pc + 1;
+        }
+        Instr::Store { addr, src, .. } => {
+            let a = addr.eval(|r| read_reg(&regs, r)).0;
+            let v = read_op(&regs, src);
+            mem.insert(a, v);
+            pcs[p] = pc + 1;
+        }
+        Instr::Rmw {
+            dst,
+            addr,
+            kind,
+            src,
+            ..
+        } => {
+            let a = addr.eval(|r| read_reg(&regs, r)).0;
+            let old = mem.get(&a).copied().unwrap_or(0);
+            let operand = read_op(&regs, src);
+            mem.insert(a, kind.new_value(old, operand));
+            regs[p][dst.index()] = old;
+            pcs[p] = pc + 1;
+        }
+        Instr::Alu {
+            dst, op, lhs, rhs, ..
+        } => {
+            let v = op.apply(read_op(&regs, lhs), read_op(&regs, rhs));
+            regs[p][dst.index()] = v;
+            pcs[p] = pc + 1;
+        }
+        Instr::Branch {
+            cond,
+            lhs,
+            rhs,
+            target,
+            ..
+        } => {
+            let taken = cond.apply(read_op(&regs, lhs), read_op(&regs, rhs));
+            pcs[p] = if taken { *target } else { pc + 1 };
+        }
+        Instr::Jump { target } => {
+            pcs[p] = *target;
+        }
+        Instr::Prefetch { .. } | Instr::Nop => {
+            // Prefetches are non-binding hints: no architectural effect.
+            pcs[p] = pc + 1;
+        }
+        Instr::Halt => unreachable!("handled above"),
+    }
+    Some(State {
+        pcs,
+        regs,
+        mem: mem.into_iter().collect(),
+    })
+}
+
+/// Enumerates every sequentially consistent final state of `programs`
+/// from the given initial memory image.
+#[must_use]
+pub fn sc_outcomes(
+    programs: &[Program],
+    init_mem: &BTreeMap<u64, u64>,
+    cfg: OracleConfig,
+) -> OracleResult {
+    let start = State {
+        pcs: vec![0; programs.len()],
+        regs: vec![vec![0; NUM_REGS]; programs.len()],
+        mem: init_mem.iter().map(|(&a, &v)| (a, v)).collect(),
+    };
+    let mut visited: HashSet<State> = HashSet::new();
+    let mut outcomes = BTreeSet::new();
+    let mut stack = vec![start.clone()];
+    visited.insert(start);
+    let mut complete = true;
+    while let Some(st) = stack.pop() {
+        if visited.len() > cfg.max_states {
+            complete = false;
+            break;
+        }
+        let mut terminal = true;
+        for p in 0..programs.len() {
+            if halted(&programs[p], st.pcs[p]) {
+                continue;
+            }
+            terminal = false;
+            if let Some(next) = step(programs, &st, p) {
+                if visited.insert(next.clone()) {
+                    stack.push(next);
+                }
+            }
+        }
+        if terminal {
+            outcomes.insert(Outcome {
+                regs: st.regs.clone(),
+                memory: st.mem_map(),
+            });
+        }
+    }
+    OracleResult { outcomes, complete }
+}
+
+/// Executes a single program sequentially to completion (the
+/// single-processor special case — handy as a reference semantics).
+#[must_use]
+pub fn run_sequential(program: &Program, init_mem: &BTreeMap<u64, u64>) -> Outcome {
+    let r = sc_outcomes(
+        std::slice::from_ref(program),
+        init_mem,
+        OracleConfig::default(),
+    );
+    assert!(r.complete, "single program exceeded oracle bounds");
+    assert_eq!(
+        r.outcomes.len(),
+        1,
+        "a deterministic single program has exactly one outcome"
+    );
+    r.outcomes.into_iter().next().expect("checked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_isa::reg::{R1, R2};
+    use mcsim_isa::ProgramBuilder;
+
+    fn mem0() -> BTreeMap<u64, u64> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn sequential_execution() {
+        let p = ProgramBuilder::new("t")
+            .store(0x10u64, 4u64)
+            .load(R1, 0x10u64)
+            .alu(R2, mcsim_isa::AluOp::Mul, R1, 3u64)
+            .halt()
+            .build()
+            .unwrap();
+        let o = run_sequential(&p, &mem0());
+        assert_eq!(o.reg(0, R2), 12);
+        assert_eq!(o.mem(0x10), 4);
+    }
+
+    #[test]
+    fn store_buffering_outcome_is_not_sc() {
+        // The classic SB litmus: P0: x=1; r1=y.  P1: y=1; r2=x.
+        // SC forbids r1 == r2 == 0.
+        let p0 = ProgramBuilder::new("p0")
+            .store(0x100u64, 1u64)
+            .load(R1, 0x200u64)
+            .halt()
+            .build()
+            .unwrap();
+        let p1 = ProgramBuilder::new("p1")
+            .store(0x200u64, 1u64)
+            .load(R1, 0x100u64)
+            .halt()
+            .build()
+            .unwrap();
+        let r = sc_outcomes(&[p0, p1], &mem0(), OracleConfig::default());
+        assert!(r.complete);
+        assert!(
+            !r.outcomes
+                .iter()
+                .any(|o| o.reg(0, R1) == 0 && o.reg(1, R1) == 0),
+            "SC forbids both loads reading 0"
+        );
+        // The three other combinations are all reachable.
+        for want in [(0, 1), (1, 0), (1, 1)] {
+            assert!(
+                r.outcomes
+                    .iter()
+                    .any(|o| (o.reg(0, R1), o.reg(1, R1)) == want),
+                "outcome {want:?} should be SC-reachable"
+            );
+        }
+    }
+
+    #[test]
+    fn message_passing_with_spin_converges() {
+        let p0 = ProgramBuilder::new("p0")
+            .store(0x100u64, 42u64)
+            .store_release(0x200u64, 1u64)
+            .halt()
+            .build()
+            .unwrap();
+        let p1 = ProgramBuilder::new("p1")
+            .spin_until(0x200, 1, R1)
+            .load(R2, 0x100u64)
+            .halt()
+            .build()
+            .unwrap();
+        let r = sc_outcomes(&[p0, p1], &mem0(), OracleConfig::default());
+        assert!(r.complete, "spin loop pruned by visited-state detection");
+        // Every terminal state has the consumer seeing the data.
+        for o in &r.outcomes {
+            assert_eq!(o.reg(1, R2), 42);
+        }
+        assert!(!r.outcomes.is_empty());
+    }
+
+    #[test]
+    fn lock_counter_has_unique_outcome() {
+        let worker = || {
+            ProgramBuilder::new("w")
+                .lock(0x40, R1)
+                .load(R2, 0x1000u64)
+                .alu(R2, mcsim_isa::AluOp::Add, R2, 1u64)
+                .store(0x1000u64, R2)
+                .unlock(0x40)
+                .halt()
+                .build()
+                .unwrap()
+        };
+        let r = sc_outcomes(&[worker(), worker()], &mem0(), OracleConfig::default());
+        assert!(r.complete);
+        for o in &r.outcomes {
+            assert_eq!(o.mem(0x1000), 2, "critical sections must not interleave");
+        }
+    }
+
+    #[test]
+    fn incomplete_flag_on_tiny_budget() {
+        let p0 = ProgramBuilder::new("p0")
+            .store(0x100u64, 1u64)
+            .store(0x108u64, 1u64)
+            .halt()
+            .build()
+            .unwrap();
+        let p1 = ProgramBuilder::new("p1")
+            .store(0x110u64, 1u64)
+            .store(0x118u64, 1u64)
+            .halt()
+            .build()
+            .unwrap();
+        let r = sc_outcomes(&[p0, p1], &mem0(), OracleConfig { max_states: 3 });
+        assert!(!r.complete);
+    }
+}

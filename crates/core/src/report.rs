@@ -1,0 +1,104 @@
+//! Run results.
+
+use mcsim_isa::reg::RegFile;
+use mcsim_isa::RegId;
+use mcsim_mem::MemStats;
+use mcsim_proc::{CoreEvent, ProcStats};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Cycle at which the last core drained (the paper's "the accesses
+    /// take N cycles to perform").
+    pub cycles: u64,
+    /// The run hit `max_cycles` before every core halted.
+    pub timed_out: bool,
+    /// Per-core counters.
+    pub per_proc: Vec<ProcStats>,
+    /// Machine-wide totals.
+    pub total: ProcStats,
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// Final architectural register files.
+    pub regfiles: Vec<RegFile>,
+    /// Event traces (empty unless tracing was enabled).
+    pub traces: Vec<Vec<CoreEvent>>,
+    /// Coherent final memory image (word address → value) over every
+    /// touched line.
+    pub memory: BTreeMap<u64, u64>,
+}
+
+impl RunReport {
+    /// A committed register value.
+    #[must_use]
+    pub fn reg(&self, proc: usize, r: RegId) -> u64 {
+        self.regfiles[proc].read(r)
+    }
+
+    /// A final memory word (0 if untouched).
+    #[must_use]
+    pub fn mem_word(&self, addr: u64) -> u64 {
+        self.memory.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// One-line summary for logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cycles{} | {} instrs | {} spec loads, {} rollbacks, {} reissues | {} prefetches ({} useful) | hit rate {:.1}%",
+            self.cycles,
+            if self.timed_out { " (TIMED OUT)" } else { "" },
+            self.total.committed,
+            self.total.speculative_loads,
+            self.total.rollbacks,
+            self.total.reissues,
+            self.mem.prefetches_issued,
+            self.mem.prefetches_useful,
+            self.mem.hit_rate() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let r = RunReport {
+            cycles: 103,
+            timed_out: false,
+            per_proc: vec![],
+            total: ProcStats {
+                committed: 6,
+                ..Default::default()
+            },
+            mem: MemStats::default(),
+            regfiles: vec![],
+            traces: vec![],
+            memory: BTreeMap::new(),
+        };
+        let s = r.summary();
+        assert!(s.contains("103 cycles"));
+        assert!(s.contains("6 instrs"));
+        assert!(!s.contains("TIMED OUT"));
+    }
+
+    #[test]
+    fn mem_word_defaults_to_zero() {
+        let r = RunReport {
+            cycles: 0,
+            timed_out: false,
+            per_proc: vec![],
+            total: ProcStats::default(),
+            mem: MemStats::default(),
+            regfiles: vec![],
+            traces: vec![],
+            memory: BTreeMap::from([(8, 5)]),
+        };
+        assert_eq!(r.mem_word(8), 5);
+        assert_eq!(r.mem_word(16), 0);
+    }
+}

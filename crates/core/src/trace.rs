@@ -1,0 +1,166 @@
+//! Text timeline rendering for event traces.
+//!
+//! Turns the per-core [`CoreEvent`] streams into a Gantt-style view: one
+//! lane per memory operation, bars spanning issue → perform, with
+//! markers for prefetches, rollbacks and reissues. This is how the
+//! paper's pipelining arguments become *visible*: conventional SC shows
+//! a staircase; the techniques show overlapped bars.
+
+use mcsim_proc::core::{CoreEvent, EventKind, IssueOutcome};
+use std::fmt::Write as _;
+
+/// One rendered operation.
+#[derive(Debug, Clone)]
+struct Span {
+    proc: usize,
+    seq: u64,
+    label: String,
+    start: u64,
+    end: Option<u64>,
+    marker: char,
+}
+
+fn collect_spans(traces: &[Vec<CoreEvent>]) -> Vec<Span> {
+    let mut spans: Vec<Span> = Vec::new();
+    for (proc, trace) in traces.iter().enumerate() {
+        for e in trace {
+            match &e.kind {
+                EventKind::LoadIssued { addr, outcome, .. } => spans.push(Span {
+                    proc,
+                    seq: e.seq,
+                    label: format!("ld  {addr}"),
+                    start: e.cycle,
+                    end: matches!(outcome, IssueOutcome::Forwarded).then_some(e.cycle),
+                    marker: 'L',
+                }),
+                EventKind::StoreIssued { addr, .. } => spans.push(Span {
+                    proc,
+                    seq: e.seq,
+                    label: format!("st  {addr}"),
+                    start: e.cycle,
+                    end: None,
+                    marker: 'S',
+                }),
+                EventKind::PrefetchIssued { addr, exclusive } => spans.push(Span {
+                    proc,
+                    seq: e.seq,
+                    label: format!("pf{} {addr}", if *exclusive { 'x' } else { ' ' }),
+                    start: e.cycle,
+                    end: None,
+                    marker: 'P',
+                }),
+                EventKind::Performed { .. } => {
+                    // Close the most recent open span for this (proc, seq).
+                    if let Some(s) = spans
+                        .iter_mut()
+                        .rev()
+                        .find(|s| s.proc == proc && s.seq == e.seq && s.end.is_none())
+                    {
+                        s.end = Some(e.cycle);
+                    }
+                }
+                EventKind::Rollback { .. } | EventKind::RmwPartialRollback { .. } => {
+                    spans.push(Span {
+                        proc,
+                        seq: e.seq,
+                        label: "ROLLBACK".to_string(),
+                        start: e.cycle,
+                        end: Some(e.cycle),
+                        marker: '!',
+                    });
+                }
+                EventKind::Reissue { .. } => spans.push(Span {
+                    proc,
+                    seq: e.seq,
+                    label: "reissue".to_string(),
+                    start: e.cycle,
+                    end: Some(e.cycle),
+                    marker: '?',
+                }),
+                _ => {}
+            }
+        }
+    }
+    spans
+}
+
+/// Renders a Gantt timeline of every memory operation in `traces`,
+/// `width` columns wide. Each lane shows `issue ==== perform`; bare
+/// markers are instantaneous events (forwarded loads, rollbacks).
+#[must_use]
+pub fn render_timeline(traces: &[Vec<CoreEvent>], width: usize) -> String {
+    let spans = collect_spans(traces);
+    let Some(max_cycle) = spans
+        .iter()
+        .map(|s| s.end.unwrap_or(s.start))
+        .max()
+        .filter(|&m| m > 0)
+    else {
+        return String::from("(no timed events)\n");
+    };
+    let width = width.max(20);
+    let scale = |c: u64| -> usize { ((c as f64 / max_cycle as f64) * (width - 1) as f64) as usize };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{:20} 0{:>w$}", "cycle", max_cycle, w = width - 1);
+    for s in &spans {
+        let mut lane = vec![' '; width];
+        let a = scale(s.start);
+        let b = scale(s.end.unwrap_or(s.start));
+        lane[a] = s.marker;
+        for c in lane.iter_mut().take(b).skip(a + 1) {
+            *c = '=';
+        }
+        if b > a {
+            lane[b] = '|';
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = writeln!(out, "p{} {:16} {}", s.proc, s.label, lane);
+    }
+    let _ = writeln!(
+        out,
+        "legend: L load  S store  P prefetch  ! rollback  ? reissue  ==| performed"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, MachineConfig};
+    use mcsim_consistency::Model;
+    use mcsim_isa::ProgramBuilder;
+    use mcsim_proc::Techniques;
+
+    fn traced_run(t: Techniques) -> Vec<Vec<CoreEvent>> {
+        let prog = ProgramBuilder::new("t")
+            .store(0x1000u64, 1u64)
+            .store(0x1080u64, 2u64)
+            .halt()
+            .build()
+            .unwrap();
+        let mut cfg = MachineConfig::paper_with(Model::Sc, t);
+        cfg.trace = true;
+        let report = Machine::new(cfg, vec![prog]).run();
+        assert!(!report.timed_out);
+        report.traces
+    }
+
+    #[test]
+    fn timeline_shows_all_operations() {
+        let tl = render_timeline(&traced_run(Techniques::NONE), 60);
+        assert_eq!(tl.matches("st  ").count(), 2, "{tl}");
+        assert!(tl.contains("legend"));
+    }
+
+    #[test]
+    fn prefetch_bars_appear_with_technique_on() {
+        let tl = render_timeline(&traced_run(Techniques::BOTH), 60);
+        assert!(tl.matches("pfx ").count() >= 1, "{tl}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(render_timeline(&[Vec::new()], 60).contains("no timed events"));
+    }
+}

@@ -1,0 +1,454 @@
+//! A small text assembler and disassembler.
+//!
+//! The syntax mirrors the `Display` form of [`Instr`]:
+//!
+//! ```text
+//! ; Example 2 of the paper (consumer side), RC flavors
+//! acquire:
+//!   tas.acq r1, [0x40], 0      ; lock L
+//!   bne.nt  r1, 0, acquire     ; spin, predicted to succeed
+//!   ld      r2, [0x100]        ; read C   (miss)
+//!   ld      r3, [0x140]        ; read D   (hit)
+//!   ld      r4, [0x1000+r3*8]  ; read E[D]
+//!   st.rel  [0x40], 0          ; unlock L
+//!   halt
+//! ```
+//!
+//! * Comments start with `;` or `#` and run to end of line.
+//! * Labels are identifiers followed by `:`; they may share a line with an
+//!   instruction or stand alone.
+//! * Numbers are decimal or `0x` hexadecimal.
+//! * Address expressions are `[base]`, `[base+rN]`, or `[base+rN*scale]`.
+//! * Mnemonic suffixes: `.acq` / `.rel` (memory flavor), `.t` / `.nt`
+//!   (static branch hints), `.<n>` on ALU ops (latency).
+
+use crate::addr::AddrExpr;
+use crate::instr::{AluOp, BranchHint, CmpOp, Instr, MemFlavor, Operand, RmwKind};
+use crate::program::{Program, ValidationError};
+use crate::reg::RegId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number where the problem was found (0 for program-level
+    /// validation errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm: {}", self.msg)
+        } else {
+            write!(f, "asm line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ValidationError> for AsmError {
+    fn from(e: ValidationError) -> Self {
+        AsmError {
+            line: 0,
+            msg: e.to_string(),
+        }
+    }
+}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Assembles `source` into a validated [`Program`] named `name`.
+///
+/// # Errors
+/// Returns the first syntax or validation problem found, with its line.
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    // Pass 1: strip comments, peel labels, collect instruction texts.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut texts: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find([';', '#']) {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+        // A line may carry several labels (`a: b: instr`).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let label = head.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break; // not a label — let instruction parsing report it
+            }
+            if labels
+                .insert(label.to_string(), texts.len() as u32)
+                .is_some()
+            {
+                return Err(err(lineno, format!("duplicate label `{label}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            texts.push((lineno, rest.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions, resolving label operands.
+    let mut instrs = Vec::with_capacity(texts.len());
+    for (lineno, text) in &texts {
+        instrs.push(parse_instr(*lineno, text, &labels)?);
+    }
+    Ok(Program::new(name, instrs)?)
+}
+
+/// Renders a program back to assembly text that [`assemble`] accepts.
+#[must_use]
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    // Emit labels for every branch target.
+    let mut targets: Vec<u32> = p.instrs().iter().filter_map(Instr::target).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    for (pc, i) in p.instrs().iter().enumerate() {
+        if targets.binary_search(&(pc as u32)).is_ok() {
+            out.push_str(&format!("L{pc}:\n"));
+        }
+        let mut s = i.to_string();
+        // `Display` writes raw targets as `@n`; rewrite to the labels above.
+        if let Some(t) = i.target() {
+            s = s.replace(&format!("@{t}"), &format!("L{t}"));
+        }
+        out.push_str("  ");
+        out.push_str(&s);
+        out.push('\n');
+    }
+    out
+}
+
+fn split_mnemonic(word: &str) -> (&str, Option<&str>) {
+    match word.split_once('.') {
+        Some((m, s)) => (m, Some(s)),
+        None => (word, None),
+    }
+}
+
+fn parse_u64(line: usize, s: &str) -> Result<u64, AsmError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<u64>()
+    };
+    parsed.map_err(|_| err(line, format!("expected a number, found `{s}`")))
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<RegId, AsmError> {
+    let s = s.trim();
+    let n = s
+        .strip_prefix(['r', 'R'])
+        .and_then(|d| d.parse::<u8>().ok())
+        .ok_or_else(|| err(line, format!("expected a register, found `{s}`")))?;
+    RegId::try_new(n).ok_or_else(|| err(line, format!("register `{s}` out of range")))
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if s.starts_with(['r', 'R']) && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 {
+        Ok(Operand::Reg(parse_reg(line, s)?))
+    } else {
+        Ok(Operand::Imm(parse_u64(line, s)?))
+    }
+}
+
+fn parse_addr(line: usize, s: &str) -> Result<AddrExpr, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected `[addr]`, found `{s}`")))?;
+    match inner.split_once('+') {
+        None => Ok(AddrExpr::direct(parse_u64(line, inner)?)),
+        Some((base, idx)) => {
+            let base = parse_u64(line, base)?;
+            match idx.split_once('*') {
+                None => Ok(AddrExpr::indexed(base, parse_reg(line, idx)?, 1)),
+                Some((reg, scale)) => Ok(AddrExpr::indexed(
+                    base,
+                    parse_reg(line, reg)?,
+                    parse_u64(line, scale)?,
+                )),
+            }
+        }
+    }
+}
+
+fn mem_flavor(
+    line: usize,
+    suffix: Option<&str>,
+    default: MemFlavor,
+) -> Result<MemFlavor, AsmError> {
+    match suffix {
+        None => Ok(default),
+        Some("ord") => Ok(MemFlavor::Ordinary),
+        Some("acq") => Ok(MemFlavor::Acquire),
+        Some("rel") => Ok(MemFlavor::Release),
+        Some(other) => Err(err(line, format!("unknown memory suffix `.{other}`"))),
+    }
+}
+
+fn parse_instr(line: usize, text: &str, labels: &HashMap<String, u32>) -> Result<Instr, AsmError> {
+    let (word, rest) = match text.split_once(char::is_whitespace) {
+        Some((w, r)) => (w, r.trim()),
+        None => (text, ""),
+    };
+    let (mnem, suffix) = split_mnemonic(word);
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{word}` expects {n} operand(s), found {}", args.len()),
+            ))
+        }
+    };
+    let target = |s: &str| -> Result<u32, AsmError> {
+        if let Some(&t) = labels.get(s.trim()) {
+            Ok(t)
+        } else if let Some(n) = s.trim().strip_prefix('@') {
+            parse_u64(line, n).map(|v| v as u32)
+        } else {
+            Err(err(line, format!("unknown label `{}`", s.trim())))
+        }
+    };
+
+    match mnem {
+        "ld" => {
+            want(2)?;
+            Ok(Instr::Load {
+                dst: parse_reg(line, args[0])?,
+                addr: parse_addr(line, args[1])?,
+                flavor: mem_flavor(line, suffix, MemFlavor::Ordinary)?,
+            })
+        }
+        "st" => {
+            want(2)?;
+            Ok(Instr::Store {
+                addr: parse_addr(line, args[0])?,
+                src: parse_operand(line, args[1])?,
+                flavor: mem_flavor(line, suffix, MemFlavor::Ordinary)?,
+            })
+        }
+        "tas" | "fadd" | "swap" => {
+            want(3)?;
+            let kind = match mnem {
+                "tas" => RmwKind::TestAndSet,
+                "fadd" => RmwKind::FetchAdd,
+                _ => RmwKind::Swap,
+            };
+            Ok(Instr::Rmw {
+                dst: parse_reg(line, args[0])?,
+                addr: parse_addr(line, args[1])?,
+                kind,
+                src: parse_operand(line, args[2])?,
+                // RMWs default to acquire: the paper's lock idiom.
+                flavor: mem_flavor(line, suffix, MemFlavor::Acquire)?,
+            })
+        }
+        "add" | "sub" | "and" | "or" | "xor" | "mul" => {
+            want(3)?;
+            let op = match mnem {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                "xor" => AluOp::Xor,
+                _ => AluOp::Mul,
+            };
+            let latency = match suffix {
+                None => 1,
+                Some(n) => n
+                    .parse::<u32>()
+                    .map_err(|_| err(line, format!("bad latency suffix `.{n}`")))?,
+            };
+            Ok(Instr::Alu {
+                dst: parse_reg(line, args[0])?,
+                op,
+                lhs: parse_operand(line, args[1])?,
+                rhs: parse_operand(line, args[2])?,
+                latency,
+            })
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            want(3)?;
+            let cond = match mnem {
+                "beq" => CmpOp::Eq,
+                "bne" => CmpOp::Ne,
+                "blt" => CmpOp::Lt,
+                _ => CmpOp::Ge,
+            };
+            let hint = match suffix {
+                None => BranchHint::Dynamic,
+                Some("t") => BranchHint::Taken,
+                Some("nt") => BranchHint::NotTaken,
+                Some(other) => return Err(err(line, format!("unknown branch hint `.{other}`"))),
+            };
+            Ok(Instr::Branch {
+                cond,
+                lhs: parse_operand(line, args[0])?,
+                rhs: parse_operand(line, args[1])?,
+                target: target(args[2])?,
+                hint,
+            })
+        }
+        "jmp" => {
+            want(1)?;
+            Ok(Instr::Jump {
+                target: target(args[0])?,
+            })
+        }
+        "pf" => {
+            want(1)?;
+            let exclusive = match suffix {
+                None => false,
+                Some("ex") => true,
+                Some(other) => {
+                    return Err(err(line, format!("unknown prefetch suffix `.{other}`")))
+                }
+            };
+            Ok(Instr::Prefetch {
+                addr: parse_addr(line, args[0])?,
+                exclusive,
+            })
+        }
+        "nop" => {
+            want(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{R1, R3};
+
+    const EXAMPLE: &str = r"
+        ; consumer loop
+        acquire:
+          tas.acq r1, [0x40], 0
+          bne.nt  r1, 0, acquire
+          ld      r2, [0x100]
+          ld      r3, [0x140]
+          ld      r4, [0x1000+r3*8]
+          st.rel  [0x40], 0
+          halt
+    ";
+
+    #[test]
+    fn assembles_the_paper_consumer() {
+        let p = assemble("consumer", EXAMPLE).unwrap();
+        assert_eq!(p.len(), 7);
+        assert!(matches!(
+            p.fetch(0),
+            Some(Instr::Rmw {
+                kind: RmwKind::TestAndSet,
+                flavor: MemFlavor::Acquire,
+                ..
+            })
+        ));
+        assert!(matches!(p.fetch(1), Some(Instr::Branch { target: 0, .. })));
+        assert_eq!(
+            p.fetch(4),
+            Some(&Instr::Load {
+                dst: RegId::new(4),
+                addr: AddrExpr::indexed(0x1000, R3, 8),
+                flavor: MemFlavor::Ordinary,
+            })
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let p = assemble("r", EXAMPLE).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble("r", &text).unwrap();
+        assert_eq!(p.instrs(), p2.instrs());
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let e = assemble("x", "  bogus r1, r2\n  halt\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn reports_unknown_label() {
+        let e = assemble("x", "jmp nowhere\nhalt\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn reports_duplicate_label() {
+        let e = assemble("x", "a:\na:\nhalt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn numeric_targets_accepted() {
+        let p = assemble("x", "jmp @1\nhalt\n").unwrap();
+        assert_eq!(p.fetch(0), Some(&Instr::Jump { target: 1 }));
+    }
+
+    #[test]
+    fn hex_and_decimal_numbers() {
+        let p = assemble("x", "st [0x20], 33\nhalt\n").unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instr::Store {
+                addr: AddrExpr::direct(0x20),
+                src: Operand::Imm(33),
+                flavor: MemFlavor::Ordinary,
+            })
+        );
+    }
+
+    #[test]
+    fn alu_latency_suffix() {
+        let p = assemble("x", "mul.4 r1, r1, 3\nhalt\n").unwrap();
+        assert!(matches!(p.fetch(0), Some(Instr::Alu { latency: 4, .. })));
+        let _ = R1;
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let e = assemble("x", "ld r1\nhalt\n").unwrap_err();
+        assert!(e.msg.contains("expects 2"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let e = assemble("x", "nop\n").unwrap_err();
+        assert!(e.msg.contains("halt"));
+    }
+}

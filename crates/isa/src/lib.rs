@@ -1,0 +1,40 @@
+//! # mcsim-isa — the mini shared-memory ISA
+//!
+//! The workloads in Gharachorloo, Gupta & Hennessy's ICPP 1991 paper are
+//! small shared-memory code segments: loads, stores, lock/unlock
+//! synchronization, and address arithmetic (the `read E[D]` access of
+//! Figure 2 whose address depends on a previous load). This crate defines a
+//! deliberately small ISA that can express all of them while keeping the
+//! simulator's semantics easy to reason about:
+//!
+//! * **Memory accesses** — [`Instr::Load`], [`Instr::Store`], and atomic
+//!   [`Instr::Rmw`] (read-modify-write, Appendix A of the paper). Each
+//!   carries a [`MemFlavor`] marking it *ordinary*, *acquire*, or *release*
+//!   — the classification release consistency exploits (§2).
+//! * **Computation** — [`Instr::Alu`] with a configurable latency, enough to
+//!   model address calculation and local work inside critical sections.
+//! * **Control** — [`Instr::Branch`] / [`Instr::Jump`] with static
+//!   prediction hints, so spin-lock loops can be modeled the way the paper
+//!   assumes ("the branch predictor takes the path that assumes the lock
+//!   synchronization succeeds", §3.3).
+//!
+//! Programs are built either with the fluent [`ProgramBuilder`] (which has
+//! `lock`/`unlock` macros that expand to RMW + spin branch) or from the
+//! textual assembly accepted by [`asm::assemble`].
+//!
+//! Everything here is architecture state only — timing lives in
+//! `mcsim-proc` / `mcsim-mem`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod asm;
+pub mod instr;
+pub mod program;
+pub mod reg;
+
+pub use addr::{Addr, AddrExpr, LineAddr};
+pub use instr::{AluOp, BranchHint, CmpOp, Instr, MemFlavor, Operand, RmwKind};
+pub use program::{Program, ProgramBuilder, ValidationError};
+pub use reg::{RegId, NUM_REGS};

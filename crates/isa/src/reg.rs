@@ -1,0 +1,155 @@
+//! Architectural registers.
+//!
+//! The machine has a flat file of [`NUM_REGS`] general-purpose 64-bit
+//! registers. Register `r0` is an ordinary register (not hard-wired to
+//! zero); workloads that want a zero use an immediate operand instead.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+/// Identifier of an architectural register (`r0` .. `r31`).
+///
+/// Construct with [`RegId::new`], which checks the range, or use the
+/// `R0`..`R15` constants for the commonly used low registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RegId(u8);
+
+impl RegId {
+    /// Creates a register id, panicking if `n >= NUM_REGS`.
+    ///
+    /// Register identifiers appear in statically-validated programs, so an
+    /// out-of-range id is a programming error, not a runtime condition.
+    #[must_use]
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < NUM_REGS,
+            "register r{n} out of range (machine has {NUM_REGS} registers)"
+        );
+        RegId(n)
+    }
+
+    /// Creates a register id without panicking; `None` if out of range.
+    #[must_use]
+    pub fn try_new(n: u8) -> Option<Self> {
+        ((n as usize) < NUM_REGS).then_some(RegId(n))
+    }
+
+    /// The raw register number.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! reg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("Register `r", stringify!($n), "`.")]
+            pub const $name: RegId = RegId($n);
+        )*
+    };
+}
+
+reg_consts! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+}
+
+/// An architectural register file: the committed register state of one
+/// processor. The out-of-order core keeps uncommitted values in the reorder
+/// buffer and only writes here at retirement (precise interrupts, §4.2 of
+/// the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegFile {
+    vals: Vec<u64>,
+}
+
+impl RegFile {
+    /// A register file with all registers zeroed.
+    #[must_use]
+    pub fn new() -> Self {
+        RegFile {
+            vals: vec![0; NUM_REGS],
+        }
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn read(&self, r: RegId) -> u64 {
+        self.vals[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, r: RegId, v: u64) {
+        self.vals[r.index()] = v;
+    }
+
+    /// Iterates over `(register, value)` pairs, lowest register first.
+    pub fn iter(&self) -> impl Iterator<Item = (RegId, u64)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (RegId(i as u8), v))
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_in_range() {
+        assert_eq!(RegId::new(0).index(), 0);
+        assert_eq!(RegId::new(31).index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_out_of_range_panics() {
+        let _ = RegId::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(RegId::try_new(31).is_some());
+        assert!(RegId::try_new(32).is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(R5.to_string(), "r5");
+    }
+
+    #[test]
+    fn regfile_read_write() {
+        let mut f = RegFile::new();
+        assert_eq!(f.read(R3), 0);
+        f.write(R3, 42);
+        assert_eq!(f.read(R3), 42);
+        assert_eq!(f.read(R4), 0);
+    }
+
+    #[test]
+    fn regfile_iter_order() {
+        let mut f = RegFile::new();
+        f.write(R1, 7);
+        let pairs: Vec<_> = f.iter().collect();
+        assert_eq!(pairs.len(), NUM_REGS);
+        assert_eq!(pairs[1], (R1, 7));
+    }
+}

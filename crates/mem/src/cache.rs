@@ -1,0 +1,577 @@
+//! Per-processor set-associative cache arrays.
+//!
+//! The cache stores real word data (not just tags) so that executions
+//! observe genuine values — litmus tests depend on a stale-but-legal value
+//! being readable while an invalidation is still in flight. State is a
+//! compact MSI-without-M: `Shared` (readable) and `Exclusive` (readable +
+//! writable, implies no other copies; dirty data lives here until flushed
+//! or written back).
+//!
+//! A way can be *reserved* for an outstanding fill: reservation happens at
+//! issue time (evicting the LRU victim immediately), which guarantees a
+//! fill always has a slot and — per footnote 3 of the paper — a line with
+//! an outstanding access is never chosen as a victim.
+
+use crate::config::CacheConfig;
+use crate::msg::LineState;
+use mcsim_isa::{Addr, LineAddr};
+
+/// One way of one set.
+#[derive(Debug, Clone)]
+enum Way {
+    /// Empty.
+    Invalid,
+    /// Holds a valid line.
+    Present {
+        line: u64,
+        state: LineState,
+        data: Box<[u64]>,
+        lru: u64,
+        /// Set when the line was brought in by a prefetch and no demand
+        /// reference has touched it yet (for the useful-prefetch stat).
+        prefetched: bool,
+        /// An outstanding transaction (an in-place upgrade) targets this
+        /// line: it must not be victimized (footnote 3 of the paper).
+        pinned: bool,
+    },
+    /// Reserved for an outstanding fill of `line`.
+    Reserved { line: u64 },
+}
+
+/// Every way in the set is occupied by an outstanding fill; the access
+/// must retry (footnote 3 keeps those ways unevictable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetFull;
+
+/// Result of reserving a way: what (if anything) was evicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Evicted {
+    /// An invalid way was used; nothing evicted.
+    None,
+    /// A clean (shared) line was dropped.
+    Clean {
+        /// The evicted line.
+        line: LineAddr,
+    },
+    /// An exclusive (possibly dirty) line was evicted; its data must be
+    /// written back to memory.
+    Dirty {
+        /// The evicted line.
+        line: LineAddr,
+        /// The line's data.
+        data: Box<[u64]>,
+    },
+}
+
+/// A set-associative, word-granular, coherence-state-tracking cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Cache {
+            sets: vec![vec![Way::Invalid; cfg.ways]; cfg.sets],
+            cfg,
+            clock: 0,
+        }
+    }
+
+    /// The geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        self.cfg.set_of(line.0)
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.sets[self.set_of(line)].iter().position(|w| match w {
+            Way::Present { line: l, .. } | Way::Reserved { line: l } => *l == line.0,
+            Way::Invalid => false,
+        })
+    }
+
+    /// The line's state if it is present (not merely reserved).
+    #[must_use]
+    pub fn state(&self, line: LineAddr) -> Option<LineState> {
+        let set = &self.sets[self.set_of(line)];
+        set.iter().find_map(|w| match w {
+            Way::Present { line: l, state, .. } if *l == line.0 => Some(*state),
+            _ => None,
+        })
+    }
+
+    /// Whether a way is reserved for an outstanding fill of this line.
+    #[must_use]
+    pub fn is_reserved(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.set_of(line)];
+        set.iter()
+            .any(|w| matches!(w, Way::Reserved { line: l } if *l == line.0))
+    }
+
+    /// Marks a demand touch: refreshes LRU and clears the prefetched flag,
+    /// returning whether this was the first demand touch of a
+    /// prefetch-filled line (a *useful* prefetch).
+    pub fn demand_touch(&mut self, line: LineAddr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present {
+                line: l,
+                lru,
+                prefetched,
+                ..
+            } = w
+            {
+                if *l == line.0 {
+                    *lru = clock;
+                    return std::mem::take(prefetched);
+                }
+            }
+        }
+        false
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    /// If the line is not present — callers must only read lines the
+    /// protocol has made readable.
+    #[must_use]
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        let line = addr.line(self.cfg.block_bits);
+        let word = (addr.offset(self.cfg.block_bits) / 8) as usize;
+        let set = &self.sets[self.set_of(line)];
+        for w in set {
+            if let Way::Present { line: l, data, .. } = w {
+                if *l == line.0 {
+                    return data[word];
+                }
+            }
+        }
+        panic!("read_word on absent line {line}");
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    /// If the line is not held exclusively — the protocol must grant
+    /// ownership before a write (invalidation protocol), or the caller is
+    /// the update-protocol path which uses [`Cache::update_word`].
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        let line = addr.line(self.cfg.block_bits);
+        let word = (addr.offset(self.cfg.block_bits) / 8) as usize;
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present {
+                line: l,
+                state,
+                data,
+                ..
+            } = w
+            {
+                if *l == line.0 {
+                    assert_eq!(
+                        *state,
+                        LineState::Exclusive,
+                        "write_word requires exclusive ownership of {line}"
+                    );
+                    data[word] = value;
+                    return;
+                }
+            }
+        }
+        panic!("write_word on absent line {line}");
+    }
+
+    /// Update-protocol word refresh: overwrites the word in place if the
+    /// line is present (any state); no-op otherwise. Returns whether a
+    /// copy was present.
+    pub fn update_word(&mut self, addr: Addr, value: u64) -> bool {
+        let line = addr.line(self.cfg.block_bits);
+        let word = (addr.offset(self.cfg.block_bits) / 8) as usize;
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present { line: l, data, .. } = w {
+                if *l == line.0 {
+                    data[word] = value;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Reserves a way for an outstanding fill of `line`, evicting the LRU
+    /// present line if necessary. Returns `Err(SetFull)` if every way in
+    /// the set is reserved for other outstanding fills (the caller
+    /// reports it and the access retries).
+    ///
+    /// Lines with outstanding accesses occupy `Reserved` ways and are thus
+    /// never victims (footnote 3: a replacement request to a line with an
+    /// outstanding access must be delayed).
+    pub fn reserve(&mut self, line: LineAddr) -> Result<Evicted, SetFull> {
+        let set_idx = self.set_of(line);
+        debug_assert!(
+            self.find(line).is_none(),
+            "reserve called for already-tracked line {line}"
+        );
+        // Prefer an invalid way.
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| matches!(w, Way::Invalid)) {
+            *w = Way::Reserved { line: line.0 };
+            return Ok(Evicted::None);
+        }
+        // Evict the LRU present way.
+        let victim = set
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| match w {
+                Way::Present { lru, pinned, .. } if !pinned => Some((*lru, i)),
+                _ => None,
+            })
+            .min()
+            .map(|(_, i)| i);
+        let Some(i) = victim else {
+            return Err(SetFull); // every way reserved or pinned
+        };
+        let old = std::mem::replace(&mut set[i], Way::Reserved { line: line.0 });
+        let Way::Present {
+            line: vl,
+            state,
+            data,
+            ..
+        } = old
+        else {
+            unreachable!("victim index points at a present way");
+        };
+        Ok(match state {
+            LineState::Exclusive => Evicted::Dirty {
+                line: LineAddr(vl),
+                data,
+            },
+            LineState::Shared => Evicted::Clean { line: LineAddr(vl) },
+        })
+    }
+
+    /// Converts a present line's way into a reservation, keeping the slot
+    /// earmarked for an in-flight upgrade whose shared copy was just
+    /// invalidated (the upgrade will now be answered with full data).
+    pub fn demote_to_reserved(&mut self, line: LineAddr) {
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present { line: l, .. } = w {
+                if *l == line.0 {
+                    *w = Way::Reserved { line: line.0 };
+                    return;
+                }
+            }
+        }
+        panic!("demote_to_reserved on absent line {line}");
+    }
+
+    /// Pins a present line so it cannot be victimized while an in-place
+    /// transaction (upgrade) is outstanding for it. Cleared by the next
+    /// [`Cache::fill`].
+    pub fn pin(&mut self, line: LineAddr) {
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present {
+                line: l, pinned, ..
+            } = w
+            {
+                if *l == line.0 {
+                    *pinned = true;
+                    return;
+                }
+            }
+        }
+        panic!("pin on absent line {line}");
+    }
+
+    /// Installs fill data.
+    ///
+    /// * On a `Reserved` way: fills it (`data` required).
+    /// * On a `Present` way (upgrade completion): raises the state; if the
+    ///   directory sent data (upgrade race), replaces the data too.
+    ///
+    /// # Panics
+    /// If the line is neither reserved nor present, or a reserved fill
+    /// arrives without data.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        state: LineState,
+        data: Option<Box<[u64]>>,
+        prefetched: bool,
+    ) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            match w {
+                Way::Reserved { line: l } if *l == line.0 => {
+                    let data = data.expect("fill of a reserved way requires data");
+                    *w = Way::Present {
+                        line: line.0,
+                        state,
+                        data,
+                        lru: clock,
+                        prefetched,
+                        pinned: false,
+                    };
+                    return;
+                }
+                Way::Present {
+                    line: l,
+                    state: st,
+                    data: d,
+                    lru,
+                    prefetched: pf,
+                    pinned,
+                } if *l == line.0 => {
+                    *st = state;
+                    if let Some(data) = data {
+                        *d = data;
+                    }
+                    *lru = clock;
+                    *pf = prefetched && *pf;
+                    *pinned = false;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        panic!("fill for line {line} with no reserved or present way");
+    }
+
+    /// Invalidates the line if present, returning its data (needed when
+    /// the invalidation doubles as a dirty flush). `None` if absent.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Box<[u64]>> {
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present { line: l, .. } = w {
+                if *l == line.0 {
+                    let old = std::mem::replace(w, Way::Invalid);
+                    let Way::Present { data, .. } = old else {
+                        unreachable!();
+                    };
+                    return Some(data);
+                }
+            }
+        }
+        None
+    }
+
+    /// Downgrades an exclusive line to shared (a read-flush), returning a
+    /// copy of its data. `None` if the line is absent.
+    pub fn downgrade(&mut self, line: LineAddr) -> Option<Box<[u64]>> {
+        let set_idx = self.set_of(line);
+        for w in &mut self.sets[set_idx] {
+            if let Way::Present {
+                line: l,
+                state,
+                data,
+                ..
+            } = w
+            {
+                if *l == line.0 {
+                    *state = LineState::Shared;
+                    return Some(data.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of valid (present) lines — used by tests and stats.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|w| matches!(w, Way::Present { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            sets: 4,
+            ways: 2,
+            block_bits: 6,
+        }
+    }
+
+    fn line_data(v: u64) -> Box<[u64]> {
+        vec![v; 8].into_boxed_slice()
+    }
+
+    // Two lines mapping to the same set (sets=4 → stride 4 lines).
+    const L0: LineAddr = LineAddr(0);
+    const L4: LineAddr = LineAddr(4);
+    const L8: LineAddr = LineAddr(8);
+
+    #[test]
+    fn reserve_fill_read() {
+        let mut c = Cache::new(cfg());
+        assert_eq!(c.state(L0), None);
+        assert_eq!(c.reserve(L0), Ok(Evicted::None));
+        assert!(c.is_reserved(L0));
+        c.fill(L0, LineState::Shared, Some(line_data(7)), false);
+        assert_eq!(c.state(L0), Some(LineState::Shared));
+        assert_eq!(c.read_word(Addr(8)), 7);
+    }
+
+    #[test]
+    fn write_requires_exclusive() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false);
+        c.write_word(Addr(16), 99);
+        assert_eq!(c.read_word(Addr(16)), 99);
+        assert_eq!(c.read_word(Addr(8)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive")]
+    fn write_to_shared_panics() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
+        c.write_word(Addr(0), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_older() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(1)), false);
+        let _ = c.reserve(L4);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        // Touch L0 so L4 becomes LRU.
+        c.demand_touch(L0);
+        match c.reserve(L8) {
+            Ok(Evicted::Clean { line }) => assert_eq!(line, L4),
+            other => panic!("expected clean eviction of L4, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_returns_data() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false);
+        c.write_word(Addr(0), 42);
+        let _ = c.reserve(L4);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        match c.reserve(L8) {
+            Ok(Evicted::Dirty { line, data }) => {
+                assert_eq!(line, L0);
+                assert_eq!(data[0], 42);
+            }
+            other => panic!("expected dirty eviction of L0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_full_when_all_ways_reserved() {
+        let mut c = Cache::new(cfg());
+        assert!(c.reserve(L0).is_ok());
+        assert!(c.reserve(L4).is_ok());
+        assert_eq!(c.reserve(L8), Err(SetFull));
+    }
+
+    #[test]
+    fn reserved_lines_never_evicted() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0); // outstanding fill
+        let _ = c.reserve(L4);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        // Only L4 is evictable; the reserved L0 must survive.
+        match c.reserve(L8) {
+            Ok(Evicted::Clean { line }) => assert_eq!(line, L4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.is_reserved(L0));
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Exclusive, Some(line_data(5)), false);
+        let data = c.downgrade(L0).unwrap();
+        assert_eq!(data[0], 5);
+        assert_eq!(c.state(L0), Some(LineState::Shared));
+        let data = c.invalidate(L0).unwrap();
+        assert_eq!(data[0], 5);
+        assert_eq!(c.state(L0), None);
+        assert_eq!(c.invalidate(L0), None);
+    }
+
+    #[test]
+    fn prefetched_flag_cleared_on_first_demand_touch() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), true);
+        assert!(c.demand_touch(L0), "first touch reports useful prefetch");
+        assert!(!c.demand_touch(L0), "second touch does not");
+    }
+
+    #[test]
+    fn upgrade_fill_in_place() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(3)), false);
+        // Upgrade ack without data.
+        c.fill(L0, LineState::Exclusive, None, false);
+        assert_eq!(c.state(L0), Some(LineState::Exclusive));
+        assert_eq!(c.read_word(Addr(0)), 3);
+    }
+
+    #[test]
+    fn demote_to_reserved_keeps_slot() {
+        let mut c = Cache::new(cfg());
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(3)), false);
+        c.demote_to_reserved(L0);
+        assert!(c.is_reserved(L0));
+        c.fill(L0, LineState::Exclusive, Some(line_data(9)), false);
+        assert_eq!(c.read_word(Addr(0)), 9);
+    }
+
+    #[test]
+    fn update_word_in_place() {
+        let mut c = Cache::new(cfg());
+        assert!(!c.update_word(Addr(0), 1), "absent line not updated");
+        let _ = c.reserve(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
+        assert!(c.update_word(Addr(0), 11));
+        assert_eq!(c.read_word(Addr(0)), 11);
+    }
+
+    #[test]
+    fn resident_count() {
+        let mut c = Cache::new(cfg());
+        assert_eq!(c.resident_lines(), 0);
+        let _ = c.reserve(L0);
+        assert_eq!(c.resident_lines(), 0, "reserved is not resident");
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
+        assert_eq!(c.resident_lines(), 1);
+    }
+}

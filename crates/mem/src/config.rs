@@ -1,0 +1,240 @@
+//! Memory-system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Coherence protocol selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Invalidation-based (DASH-style). Supports both read and
+    /// read-exclusive prefetch — the protocol the paper assumes.
+    Invalidate,
+    /// Update-based. Writes propagate new values to sharers; lines are
+    /// never exclusive, so read-exclusive prefetch is unavailable (§3.1).
+    Update,
+}
+
+/// Geometry of each per-processor cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// log2 of the block size in bytes (6 = 64-byte lines).
+    pub block_bits: u32,
+}
+
+impl CacheConfig {
+    /// Words (u64) per cache line.
+    #[must_use]
+    pub fn block_words(&self) -> usize {
+        (1usize << self.block_bits) / 8
+    }
+
+    /// Set index for a line address.
+    #[must_use]
+    pub fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    /// If `sets` is not a power of two, or any dimension is zero, or the
+    /// block is smaller than one word.
+    pub fn validate(&self) {
+        assert!(
+            self.sets.is_power_of_two(),
+            "cache sets must be a power of two"
+        );
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.block_bits >= 3,
+            "block must hold at least one 64-bit word"
+        );
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            sets: 64,
+            ways: 4,
+            block_bits: 6,
+        }
+    }
+}
+
+/// Latency parameters. All values in cycles.
+///
+/// A clean miss costs `hop + svc + hop` end-to-end. Transactions that must
+/// invalidate remote sharers, update remote copies, or fetch dirty data
+/// from a remote owner pay one extra round trip (`2 * hop`) before the
+/// response is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTimings {
+    /// Cache hit latency (issue to value available).
+    pub hit: u64,
+    /// One network traversal: processor → directory or directory →
+    /// processor.
+    pub hop: u64,
+    /// Directory/memory service latency per transaction (pipelined:
+    /// occupancy is 1 cycle, this is pure latency).
+    pub svc: u64,
+}
+
+impl MemTimings {
+    /// The paper's calibration: 1-cycle hits, 100-cycle clean misses
+    /// (`49 + 2 + 49`).
+    #[must_use]
+    pub fn paper() -> Self {
+        MemTimings {
+            hit: 1,
+            hop: 49,
+            svc: 2,
+        }
+    }
+
+    /// Timings with a given clean-miss latency, keeping 1-cycle hits. The
+    /// miss is split `(m-2)/2 + 2 + (m-2)/2`; `miss` must be even and ≥ 4.
+    ///
+    /// # Panics
+    /// If `miss` is odd or below 4.
+    #[must_use]
+    pub fn with_miss_latency(miss: u64) -> Self {
+        assert!(
+            miss >= 4 && miss.is_multiple_of(2),
+            "miss latency must be even and >= 4"
+        );
+        MemTimings {
+            hit: 1,
+            hop: (miss - 2) / 2,
+            svc: 2,
+        }
+    }
+
+    /// End-to-end latency of a clean (no remote copies) miss.
+    #[must_use]
+    pub fn clean_miss(&self) -> u64 {
+        self.hop + self.svc + self.hop
+    }
+
+    /// End-to-end latency of a miss that needs a remote round trip
+    /// (invalidations or a dirty flush).
+    #[must_use]
+    pub fn remote_miss(&self) -> u64 {
+        self.clean_miss() + 2 * self.hop
+    }
+}
+
+impl Default for MemTimings {
+    fn default() -> Self {
+        MemTimings::paper()
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Per-processor cache geometry.
+    pub cache: CacheConfig,
+    /// Latencies.
+    pub timings: MemTimings,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Maximum outstanding misses per processor (MSHR count) — the
+    /// lockup-free depth.
+    pub mshrs: usize,
+    /// Transactions the directory may *start* per cycle.
+    pub dir_bandwidth: usize,
+    /// Adve–Hill-style early ownership grant (§6 related work): a write
+    /// is granted as soon as ownership is available at the directory,
+    /// *without* waiting for the invalidation round trip — their
+    /// visibility-control mechanism (not timed here) keeps SC intact.
+    /// Only meaningful as a conventional-SC baseline; the speculative-load
+    /// buffer's detection assumes invalidations precede grants, so do not
+    /// combine with the speculation technique.
+    pub early_grant_writes: bool,
+}
+
+impl MemConfig {
+    /// The paper's configuration: 100-cycle misses, invalidation protocol,
+    /// 16 MSHRs.
+    #[must_use]
+    pub fn paper() -> Self {
+        MemConfig {
+            cache: CacheConfig::default(),
+            timings: MemTimings::paper(),
+            protocol: Protocol::Invalidate,
+            mshrs: 16,
+            dir_bandwidth: 1,
+            early_grant_writes: false,
+        }
+    }
+
+    /// Validates all sub-configs.
+    ///
+    /// # Panics
+    /// On invalid geometry or zero MSHRs/bandwidth.
+    pub fn validate(&self) {
+        self.cache.validate();
+        assert!(self.mshrs > 0, "need at least one MSHR");
+        assert!(
+            self.dir_bandwidth > 0,
+            "directory bandwidth must be positive"
+        );
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timings_give_100_cycle_miss() {
+        let t = MemTimings::paper();
+        assert_eq!(t.clean_miss(), 100);
+        assert_eq!(t.hit, 1);
+        assert_eq!(t.remote_miss(), 198);
+    }
+
+    #[test]
+    fn with_miss_latency_roundtrips() {
+        for m in [4u64, 20, 100, 400] {
+            assert_eq!(MemTimings::with_miss_latency(m).clean_miss(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_miss_latency_rejected() {
+        let _ = MemTimings::with_miss_latency(101);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig::default();
+        c.validate();
+        assert_eq!(c.block_words(), 8);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(64), 0);
+        assert_eq!(c.set_of(65), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        CacheConfig {
+            sets: 3,
+            ways: 1,
+            block_bits: 6,
+        }
+        .validate();
+    }
+}

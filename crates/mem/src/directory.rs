@@ -1,0 +1,368 @@
+//! The full-map directory and backing memory (DASH-style [18]).
+//!
+//! The directory tracks, per line, which caches hold copies and in what
+//! capacity, serializes transactions per line, and owns the backing
+//! memory image. Timing and message scheduling live in
+//! [`crate::system`]; this module is the directory's *state*: pure data
+//! structure and bookkeeping, individually testable.
+
+use crate::msg::{ProcId, TxnId};
+use mcsim_isa::{Addr, LineAddr, RmwKind};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Sharing state of a line at the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line; memory is current.
+    Uncached,
+    /// These caches hold shared (read-only) copies; memory is current.
+    Shared(BTreeSet<ProcId>),
+    /// This cache holds the line exclusively; its copy may be newer than
+    /// memory.
+    Owned(ProcId),
+}
+
+impl DirState {
+    /// Caches whose copies must be invalidated before `requester` may gain
+    /// exclusive ownership.
+    #[must_use]
+    pub fn copies_excluding(&self, requester: ProcId) -> Vec<ProcId> {
+        match self {
+            DirState::Uncached => Vec::new(),
+            DirState::Shared(s) => s.iter().copied().filter(|&p| p != requester).collect(),
+            DirState::Owned(o) => {
+                if *o == requester {
+                    Vec::new()
+                } else {
+                    vec![*o]
+                }
+            }
+        }
+    }
+
+    /// Whether `p` holds a shared copy.
+    #[must_use]
+    pub fn is_sharer(&self, p: ProcId) -> bool {
+        matches!(self, DirState::Shared(s) if s.contains(&p))
+    }
+
+    /// Whether `p` owns the line exclusively.
+    #[must_use]
+    pub fn is_owner(&self, p: ProcId) -> bool {
+        matches!(self, DirState::Owned(o) if *o == p)
+    }
+}
+
+/// Kinds of requests a processor's cache controller sends to the
+/// directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Read miss: a shared copy, please.
+    GetShared,
+    /// Write miss or upgrade: exclusive ownership, please (invalidation
+    /// protocol only).
+    GetExclusive,
+    /// Update-protocol write: update memory and all copies.
+    UpdateWrite {
+        /// Word index within the line.
+        word_idx: usize,
+        /// New value.
+        value: u64,
+    },
+    /// Update-protocol atomic read-modify-write, performed at the
+    /// directory (the serialization point).
+    UpdateRmw {
+        /// Word index within the line.
+        word_idx: usize,
+        /// The atomic operation.
+        kind: RmwKind,
+        /// Operand for the modify step.
+        operand: u64,
+    },
+}
+
+/// A request in flight to (or queued at) the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Requesting processor.
+    pub proc: ProcId,
+    /// Target line.
+    pub line: LineAddr,
+    /// What is being asked.
+    pub kind: ReqKind,
+    /// Transaction id the response must carry.
+    pub txn: TxnId,
+    /// Launched as a prefetch (stats only).
+    pub is_prefetch: bool,
+    /// Cycle the processor issued it (queue-delay stats).
+    pub issued_at: u64,
+}
+
+/// The directory: per-line sharing state, backing memory, per-line
+/// serialization, and the arrival queue.
+#[derive(Debug)]
+pub struct Directory {
+    block_words: usize,
+    block_bits: u32,
+    states: HashMap<u64, DirState>,
+    memory: HashMap<u64, Box<[u64]>>,
+    busy_until: HashMap<u64, u64>,
+    pending: VecDeque<Request>,
+    waiters: HashMap<u64, VecDeque<Request>>,
+}
+
+impl Directory {
+    /// An empty directory for lines of `1 << block_bits` bytes.
+    #[must_use]
+    pub fn new(block_bits: u32) -> Self {
+        Directory {
+            block_words: (1usize << block_bits) / 8,
+            block_bits,
+            states: HashMap::new(),
+            memory: HashMap::new(),
+            busy_until: HashMap::new(),
+            pending: VecDeque::new(),
+            waiters: HashMap::new(),
+        }
+    }
+
+    /// Sharing state of a line (Uncached if never touched).
+    #[must_use]
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.states
+            .get(&line.0)
+            .cloned()
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Replaces a line's sharing state.
+    pub fn set_state(&mut self, line: LineAddr, s: DirState) {
+        if matches!(s, DirState::Uncached) {
+            self.states.remove(&line.0);
+        } else {
+            self.states.insert(line.0, s);
+        }
+    }
+
+    /// Adds `p` as a sharer (downgrading an owner is the caller's job).
+    pub fn add_sharer(&mut self, line: LineAddr, p: ProcId) {
+        let st = self.state(line);
+        let next = match st {
+            DirState::Uncached => DirState::Shared(BTreeSet::from([p])),
+            DirState::Shared(mut s) => {
+                s.insert(p);
+                DirState::Shared(s)
+            }
+            DirState::Owned(o) => DirState::Shared(BTreeSet::from([o, p])),
+        };
+        self.set_state(line, next);
+    }
+
+    /// Removes `p`'s copy (on replacement). No-op if `p` holds nothing.
+    pub fn drop_copy(&mut self, line: LineAddr, p: ProcId) {
+        let next = match self.state(line) {
+            DirState::Uncached => DirState::Uncached,
+            DirState::Shared(mut s) => {
+                s.remove(&p);
+                if s.is_empty() {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(s)
+                }
+            }
+            DirState::Owned(o) if o == p => DirState::Uncached,
+            owned => owned,
+        };
+        self.set_state(line, next);
+    }
+
+    /// A copy of the line's backing data (zeros if untouched).
+    #[must_use]
+    pub fn mem_line(&self, line: LineAddr) -> Box<[u64]> {
+        self.memory
+            .get(&line.0)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.block_words].into_boxed_slice())
+    }
+
+    /// Overwrites the line's backing data (writeback / flush arrival).
+    pub fn write_mem_line(&mut self, line: LineAddr, data: Box<[u64]>) {
+        self.memory.insert(line.0, data);
+    }
+
+    /// Reads one backing-memory word.
+    #[must_use]
+    pub fn read_mem_word(&self, addr: Addr) -> u64 {
+        let line = addr.line(self.block_bits);
+        let word = (addr.offset(self.block_bits) / 8) as usize;
+        self.memory.get(&line.0).map_or(0, |d| d[word])
+    }
+
+    /// Writes one backing-memory word (update protocol, or initial image).
+    pub fn write_mem_word(&mut self, addr: Addr, value: u64) {
+        let line = addr.line(self.block_bits);
+        let word = (addr.offset(self.block_bits) / 8) as usize;
+        let words = self.block_words;
+        self.memory
+            .entry(line.0)
+            .or_insert_with(|| vec![0; words].into_boxed_slice())[word] = value;
+    }
+
+    // ----- queueing -----
+
+    /// Enqueues a request that has arrived over the network.
+    pub fn push_arrival(&mut self, req: Request) {
+        self.pending.push_back(req);
+    }
+
+    /// Pops the first serviceable request: the oldest arrival whose line
+    /// is not busy at `now`. Arrivals for busy lines are parked per line
+    /// and re-queued (in order) when the line frees, so a hot line never
+    /// head-of-line-blocks the directory.
+    pub fn next_serviceable(&mut self, now: u64) -> Option<Request> {
+        while let Some(req) = self.pending.pop_front() {
+            if self.busy_until.get(&req.line.0).copied().unwrap_or(0) > now {
+                self.waiters.entry(req.line.0).or_default().push_back(req);
+            } else {
+                return Some(req);
+            }
+        }
+        None
+    }
+
+    /// Marks a line busy until `until` (the cycle its response is sent).
+    pub fn mark_busy(&mut self, line: LineAddr, until: u64) {
+        self.busy_until.insert(line.0, until);
+    }
+
+    /// When a line's busy window closes, re-admits its parked requests at
+    /// the *front* of the queue (oldest first) so they are serviced before
+    /// newer traffic.
+    pub fn release_line(&mut self, line: LineAddr) {
+        if let Some(mut ws) = self.waiters.remove(&line.0) {
+            while let Some(req) = ws.pop_back() {
+                self.pending.push_front(req);
+            }
+        }
+    }
+
+    /// Outstanding queue length (pending + parked), for stats.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.pending.len() + self.waiters.values().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Every line the directory has ever tracked (sharing state or
+    /// backing data) — the domain of a final-state snapshot.
+    #[must_use]
+    pub fn known_lines(&self) -> std::collections::BTreeSet<LineAddr> {
+        self.states
+            .keys()
+            .chain(self.memory.keys())
+            .map(|&l| LineAddr(l))
+            .collect()
+    }
+
+    /// Words per line.
+    #[must_use]
+    pub fn block_words(&self) -> usize {
+        self.block_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(proc: ProcId, line: u64, txn: u64) -> Request {
+        Request {
+            proc,
+            line: LineAddr(line),
+            kind: ReqKind::GetShared,
+            txn: TxnId(txn),
+            is_prefetch: false,
+            issued_at: 0,
+        }
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut d = Directory::new(6);
+        let l = LineAddr(9);
+        assert_eq!(d.state(l), DirState::Uncached);
+        d.add_sharer(l, 0);
+        d.add_sharer(l, 2);
+        assert!(d.state(l).is_sharer(0));
+        assert!(d.state(l).is_sharer(2));
+        assert_eq!(d.state(l).copies_excluding(0), vec![2]);
+        d.set_state(l, DirState::Owned(1));
+        assert!(d.state(l).is_owner(1));
+        assert_eq!(d.state(l).copies_excluding(1), Vec::<ProcId>::new());
+        assert_eq!(d.state(l).copies_excluding(0), vec![1]);
+        d.drop_copy(l, 1);
+        assert_eq!(d.state(l), DirState::Uncached);
+    }
+
+    #[test]
+    fn drop_last_sharer_goes_uncached() {
+        let mut d = Directory::new(6);
+        let l = LineAddr(3);
+        d.add_sharer(l, 0);
+        d.drop_copy(l, 0);
+        assert_eq!(d.state(l), DirState::Uncached);
+    }
+
+    #[test]
+    fn owner_becomes_sharer_on_add() {
+        let mut d = Directory::new(6);
+        let l = LineAddr(3);
+        d.set_state(l, DirState::Owned(1));
+        d.add_sharer(l, 0);
+        assert!(d.state(l).is_sharer(0));
+        assert!(d.state(l).is_sharer(1));
+    }
+
+    #[test]
+    fn memory_defaults_to_zero() {
+        let mut d = Directory::new(6);
+        assert_eq!(d.read_mem_word(Addr(0x100)), 0);
+        d.write_mem_word(Addr(0x100), 7);
+        assert_eq!(d.read_mem_word(Addr(0x100)), 7);
+        assert_eq!(d.read_mem_word(Addr(0x108)), 0);
+        let line = d.mem_line(Addr(0x100).line(6));
+        assert_eq!(line[0], 7);
+    }
+
+    #[test]
+    fn queue_serves_in_order_skipping_busy_lines() {
+        let mut d = Directory::new(6);
+        d.push_arrival(req(0, 1, 1));
+        d.push_arrival(req(1, 1, 2)); // same line, will be parked
+        d.push_arrival(req(2, 9, 3)); // different line
+        let first = d.next_serviceable(10).unwrap();
+        assert_eq!(first.txn, TxnId(1));
+        d.mark_busy(LineAddr(1), 20);
+        // txn2 is parked; txn3 is serviceable.
+        let second = d.next_serviceable(10).unwrap();
+        assert_eq!(second.txn, TxnId(3));
+        assert!(d.next_serviceable(10).is_none());
+        assert_eq!(d.queue_len(), 1);
+        // Line frees: txn2 re-admitted at the front.
+        d.release_line(LineAddr(1));
+        let third = d.next_serviceable(20).unwrap();
+        assert_eq!(third.txn, TxnId(2));
+    }
+
+    #[test]
+    fn release_preserves_waiter_order() {
+        let mut d = Directory::new(6);
+        d.mark_busy(LineAddr(1), 100);
+        d.push_arrival(req(0, 1, 1));
+        d.push_arrival(req(1, 1, 2));
+        assert!(d.next_serviceable(0).is_none()); // both parked
+        d.release_line(LineAddr(1));
+        assert_eq!(d.next_serviceable(100).unwrap().txn, TxnId(1));
+        d.mark_busy(LineAddr(1), 200);
+        assert!(d.next_serviceable(100).is_none());
+    }
+}

@@ -1,0 +1,93 @@
+//! Memory-system statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters kept by the memory system across a run. All counters are
+/// machine-wide; per-processor breakdowns live in the processor stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Demand accesses that hit in a cache.
+    pub demand_hits: u64,
+    /// Demand accesses that started a new transaction.
+    pub demand_misses: u64,
+    /// Demand accesses merged into an outstanding transaction (usually a
+    /// prefetch) — §3.2's combining.
+    pub demand_merges: u64,
+    /// Prefetches issued to the memory system.
+    pub prefetches_issued: u64,
+    /// Prefetches discarded because the line was already present.
+    pub prefetches_already_present: u64,
+    /// Prefetches discarded because a transaction was already outstanding.
+    pub prefetches_already_pending: u64,
+    /// Prefetches dropped for lack of MSHRs / ways.
+    pub prefetches_no_resource: u64,
+    /// Read-exclusive prefetches rejected by the update protocol (§3.1).
+    pub prefetches_unsupported: u64,
+    /// Prefetch-filled lines whose first demand touch happened before any
+    /// coherence event took them away (useful prefetches), plus demand
+    /// merges into prefetch transactions.
+    pub prefetches_useful: u64,
+    /// Invalidation messages delivered to caches.
+    pub invalidations_delivered: u64,
+    /// Update messages delivered to caches (update protocol).
+    pub updates_delivered: u64,
+    /// Dirty-flush exchanges (remote owner supplied data).
+    pub flushes: u64,
+    /// Writebacks of dirty lines on replacement.
+    pub writebacks: u64,
+    /// Replacements (clean or dirty).
+    pub replacements: u64,
+    /// Transactions serviced by the directory.
+    pub dir_transactions: u64,
+    /// Total cycles requests spent queued at the directory beyond their
+    /// arrival cycle (contention measure).
+    pub dir_queue_cycles: u64,
+}
+
+impl MemStats {
+    /// Demand accesses observed (hits + misses + merges).
+    #[must_use]
+    pub fn demand_accesses(&self) -> u64 {
+        self.demand_hits + self.demand_misses + self.demand_merges
+    }
+
+    /// Hit rate over demand accesses; 0 if none.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.demand_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that proved useful; 0 if none issued.
+    #[must_use]
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / self.prefetches_issued as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = MemStats {
+            demand_hits: 3,
+            demand_misses: 1,
+            demand_merges: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.demand_accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(MemStats::default().hit_rate(), 0.0);
+        assert_eq!(MemStats::default().prefetch_accuracy(), 0.0);
+    }
+}

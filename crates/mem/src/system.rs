@@ -1,0 +1,1640 @@
+//! The [`MemorySystem`]: caches + MSHRs + directory + network timing,
+//! behind the port interface the processor's load/store unit drives.
+//!
+//! ## Cycle discipline
+//!
+//! The machine calls [`MemorySystem::tick`] once per cycle *before* the
+//! processors run. `tick` delivers every message scheduled for the current
+//! cycle (fills, invalidations, updates, flushes) in deterministic
+//! `(time, sequence)` order, then lets the directory start up to
+//! `dir_bandwidth` new transactions. Processors then issue at most one
+//! demand access or prefetch per cycle through their port.
+//!
+//! ## Atomic grant-and-apply
+//!
+//! Every demand access carries a [`DemandToken`]. Its architectural effect
+//! — binding a load value, performing a store, executing an atomic RMW —
+//! is applied *atomically with the grant*: on a hit, at issue; on a miss,
+//! the instant the fill arrives, before any later coherence message can
+//! steal the line (exactly as a real cache controller performs the pending
+//! access in the same transaction that grants ownership). Bound values are
+//! retrieved with [`MemorySystem::take_bound_value`].
+//!
+//! ## Timing recap (see [`crate::config::MemTimings`])
+//!
+//! * request travels `hop` cycles to the directory and is serviced the
+//!   cycle it arrives (absent contention);
+//! * a clean transaction's response is sent `svc` cycles later and lands
+//!   `hop` cycles after that — `hop + svc + hop` end to end;
+//! * invalidating sharers or flushing a remote owner inserts one extra
+//!   round trip (`2 * hop`) before the response is sent.
+//!
+//! ## Simplification: synchronous writeback
+//!
+//! Evicting a dirty line updates the directory's memory image and sharing
+//! state in the same cycle (an "atomic writeback"). This removes the
+//! writeback/flush race of real protocols — a flush that finds the line
+//! already gone simply falls back to the (current) memory copy — without
+//! affecting any timing the paper's experiments observe. Documented in
+//! DESIGN.md.
+
+use crate::cache::{Cache, Evicted};
+use crate::config::{MemConfig, Protocol};
+use crate::directory::{DirState, Directory, ReqKind, Request};
+use crate::msg::{
+    DemandToken, IssueResult, LineState, MemEvent, PrefetchResult, ProbeResult, ProcId, TxnId,
+};
+use crate::mshr::{Mshr, MshrFile, PendingOp};
+use crate::stats::MemStats;
+use mcsim_isa::{Addr, LineAddr, RmwKind};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Messages delivered to a processor-side cache controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ProcMsg {
+    /// Response to a GetShared / GetExclusive: install the line.
+    Fill {
+        txn: TxnId,
+        line: LineAddr,
+        exclusive: bool,
+        /// `None` for an upgrade acknowledgement (data already cached).
+        data: Option<Box<[u64]>>,
+    },
+    /// Response to an update-protocol write or RMW (no fill).
+    WriteDone {
+        txn: TxnId,
+        line: LineAddr,
+        /// For RMWs: the word refreshed in the local copy and its old and
+        /// new values.
+        rmw: Option<(Addr, u64 /* old */, u64 /* new */)>,
+    },
+    /// Another processor is gaining exclusive ownership: drop the line.
+    Invalidate { line: LineAddr },
+    /// The directory needs this (owned) line's data; `share` keeps a
+    /// shared copy, otherwise the line is invalidated.
+    Flush {
+        line: LineAddr,
+        share: bool,
+        req: Request,
+    },
+    /// Update protocol: refresh one word in place.
+    Update { addr: Addr, value: u64 },
+}
+
+/// Internal scheduled actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Action {
+    /// A request reaches the directory.
+    DirReceive(Request),
+    /// A busy line's window closes; re-admit parked requests.
+    LineFree(LineAddr),
+    /// Deliver a message to a processor.
+    Deliver { proc: ProcId, msg: ProcMsg },
+    /// Flushed data (or a not-present nack) returns to the directory.
+    FlushBack {
+        req: Request,
+        data: Option<Box<[u64]>>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The machine-wide coherent memory system.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemConfig,
+    now: u64,
+    next_txn: u64,
+    next_seq: u64,
+    next_token: u64,
+    caches: Vec<Cache>,
+    mshrs: Vec<MshrFile>,
+    dir: Directory,
+    sched: BinaryHeap<Scheduled>,
+    outbox: Vec<Vec<MemEvent>>,
+    bound_values: HashMap<DemandToken, u64>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// A memory system serving `nprocs` processors.
+    #[must_use]
+    pub fn new(cfg: MemConfig, nprocs: usize) -> Self {
+        cfg.validate();
+        assert!(nprocs > 0, "need at least one processor");
+        assert!(
+            cfg.timings.svc >= 1,
+            "directory service latency must be >= 1"
+        );
+        MemorySystem {
+            caches: (0..nprocs).map(|_| Cache::new(cfg.cache)).collect(),
+            mshrs: (0..nprocs).map(|_| MshrFile::new(cfg.mshrs)).collect(),
+            dir: Directory::new(cfg.cache.block_bits),
+            sched: BinaryHeap::new(),
+            outbox: vec![Vec::new(); nprocs],
+            bound_values: HashMap::new(),
+            stats: MemStats::default(),
+            next_txn: 0,
+            next_seq: 0,
+            next_token: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// The current cycle (last `tick` target).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Cache-line address of `addr` under this configuration's geometry.
+    #[must_use]
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        addr.line(self.cfg.cache.block_bits)
+    }
+
+    /// Writes the initial memory image (before simulation starts).
+    pub fn write_initial(&mut self, addr: Addr, value: u64) {
+        self.dir.write_mem_word(addr, value);
+    }
+
+    /// Pre-warms `proc`'s cache with the line containing `addr`, outside
+    /// simulated time (for workload setup — the paper's examples assume
+    /// some locations start cached, e.g. `read D (hit)` in Figure 2).
+    ///
+    /// # Panics
+    /// If the set has no room or another processor already owns the line
+    /// exclusively — preloading is for pristine startup states.
+    pub fn preload(&mut self, proc: ProcId, addr: Addr, exclusive: bool) {
+        let line = self.line_of(addr);
+        assert!(
+            self.mshrs[proc].get(line).is_none() && self.caches[proc].state(line).is_none(),
+            "preload of a line already in flight or cached"
+        );
+        assert!(
+            matches!(self.dir.state(line), DirState::Uncached)
+                || (!exclusive && matches!(self.dir.state(line), DirState::Shared(_))),
+            "preload conflicts with existing sharing state of {line}"
+        );
+        let evicted = self.caches[proc]
+            .reserve(line)
+            .unwrap_or_else(|_| panic!("no room to preload {line}"));
+        assert!(
+            matches!(evicted, Evicted::None),
+            "preload must not evict (set already occupied)"
+        );
+        let data = self.dir.mem_line(line);
+        let state = if exclusive {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        self.caches[proc].fill(line, state, Some(data), false);
+        if exclusive {
+            self.dir.set_state(line, DirState::Owned(proc));
+        } else {
+            self.dir.add_sharer(line, proc);
+        }
+    }
+
+    /// A coherent snapshot of every word the machine has touched, by byte
+    /// address. Used for final-state checks against the SC oracle.
+    #[must_use]
+    pub fn snapshot_coherent(&self) -> std::collections::BTreeMap<u64, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        let words = self.dir.block_words();
+        for line in self.dir.known_lines() {
+            let base = line.base(self.cfg.cache.block_bits);
+            for w in 0..words {
+                let addr = Addr(base.0 + (w as u64) * 8);
+                out.insert(addr.0, self.read_coherent(addr));
+            }
+        }
+        out
+    }
+
+    /// The globally coherent value of `addr`: an exclusive cached copy if
+    /// one exists, otherwise memory. Used to check final states.
+    #[must_use]
+    pub fn read_coherent(&self, addr: Addr) -> u64 {
+        let line = self.line_of(addr);
+        if let DirState::Owned(p) = self.dir.state(line) {
+            if self.caches[p].state(line) == Some(LineState::Exclusive) {
+                return self.caches[p].read_word(addr);
+            }
+        }
+        self.dir.read_mem_word(addr)
+    }
+
+    fn schedule(&mut self, at: u64, action: Action) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.sched.push(Scheduled { at, seq, action });
+    }
+
+    fn fresh_txn(&mut self) -> TxnId {
+        self.next_txn += 1;
+        TxnId(self.next_txn)
+    }
+
+    fn fresh_token(&mut self) -> DemandToken {
+        self.next_token += 1;
+        DemandToken(self.next_token)
+    }
+
+    /// Advances to cycle `now`: delivers due messages, then lets the
+    /// directory start transactions.
+    ///
+    /// # Panics
+    /// If called with a cycle earlier than a previous call.
+    pub fn tick(&mut self, now: u64) {
+        assert!(now >= self.now, "time went backwards");
+        self.now = now;
+        while self.sched.peek().is_some_and(|s| s.at <= now) {
+            let s = self.sched.pop().expect("peeked");
+            self.handle(s.action);
+        }
+        for _ in 0..self.cfg.dir_bandwidth {
+            let Some(req) = self.dir.next_serviceable(now) else {
+                break;
+            };
+            self.service(req);
+        }
+    }
+
+    /// Drains the event stream for `proc` (completions + coherence
+    /// hazards, in delivery order).
+    pub fn drain_events(&mut self, proc: ProcId) -> Vec<MemEvent> {
+        std::mem::take(&mut self.outbox[proc])
+    }
+
+    /// Consumes the value bound for a demand operation: the loaded word
+    /// for reads, the pre-modification word for RMWs. `None` for writes
+    /// or if already taken.
+    pub fn take_bound_value(&mut self, token: DemandToken) -> Option<u64> {
+        self.bound_values.remove(&token)
+    }
+
+    // ------------------------------------------------------------------
+    // Port operations (at most one demand issue or prefetch per processor
+    // per cycle — enforced by the load/store unit).
+    // ------------------------------------------------------------------
+
+    /// A free (port-less) probe of the processor's cache and MSHRs.
+    #[must_use]
+    pub fn probe(&self, proc: ProcId, line: LineAddr) -> ProbeResult {
+        if let Some(m) = self.mshrs[proc].get(line) {
+            return ProbeResult::Pending {
+                txn: m.txn,
+                exclusive: m.exclusive,
+                prefetch_only: m.prefetch_only,
+            };
+        }
+        match self.caches[proc].state(line) {
+            Some(s) => ProbeResult::Present(s),
+            None => ProbeResult::Absent,
+        }
+    }
+
+    /// Reads a word from the processor's cache (line must be present).
+    /// Test/diagnostic helper; demand paths use bound values.
+    #[must_use]
+    pub fn read_word(&self, proc: ProcId, addr: Addr) -> u64 {
+        self.caches[proc].read_word(addr)
+    }
+
+    /// Issues a demand read. On `Hit` the value is bound immediately; on
+    /// `Miss`/`Merged` it binds when the fill arrives. Retrieve it with
+    /// [`Self::take_bound_value`].
+    pub fn issue_demand_read(&mut self, proc: ProcId, addr: Addr) -> IssueResult {
+        let line = self.line_of(addr);
+        let token = self.fresh_token();
+        // Outstanding transaction: merge (reads ride shared or exclusive
+        // fills alike).
+        if let Some(m) = self.mshrs[proc].get_mut(line) {
+            if m.prefetch_only {
+                m.prefetch_only = false;
+                self.stats.prefetches_useful += 1;
+            }
+            m.pending.push((token, PendingOp::Read { addr }));
+            let txn = m.txn;
+            self.stats.demand_merges += 1;
+            return IssueResult::Merged { txn, token };
+        }
+        if self.caches[proc].state(line).is_some() {
+            if self.caches[proc].demand_touch(line) {
+                self.stats.prefetches_useful += 1;
+            }
+            let v = self.caches[proc].read_word(addr);
+            self.bound_values.insert(token, v);
+            self.stats.demand_hits += 1;
+            return IssueResult::Hit { token };
+        }
+        self.launch_fill(proc, addr, false, Some((token, PendingOp::Read { addr })))
+            .unwrap_or_else(|e| e)
+    }
+
+    /// Issues a demand write. Under the invalidation protocol this obtains
+    /// exclusive ownership and performs the store atomically with the
+    /// grant (immediately on a hit). Under the update protocol the value
+    /// rides to the directory and the write performs when all copies are
+    /// refreshed.
+    pub fn issue_demand_write(&mut self, proc: ProcId, addr: Addr, value: u64) -> IssueResult {
+        match self.cfg.protocol {
+            Protocol::Invalidate => {
+                self.issue_owning_op(proc, addr, PendingOp::Write { addr, value })
+            }
+            Protocol::Update => self.issue_update_txn(proc, addr, None, value),
+        }
+    }
+
+    /// Issues a *read-exclusive* demand read: brings the line into the
+    /// cache in exclusive mode and binds the word's current value, without
+    /// writing anything — the speculative first half of a split
+    /// read-modify-write (Appendix A of the paper). Invalidation protocol
+    /// only; the update protocol has no exclusivity to request.
+    ///
+    /// # Panics
+    /// If called under the update protocol.
+    pub fn issue_demand_read_ex(&mut self, proc: ProcId, addr: Addr) -> IssueResult {
+        assert_eq!(
+            self.cfg.protocol,
+            Protocol::Invalidate,
+            "read-exclusive demands require the invalidation protocol"
+        );
+        self.issue_owning_op(proc, addr, PendingOp::Read { addr })
+    }
+
+    /// Issues a demand atomic read-modify-write. Invalidation protocol:
+    /// ownership is obtained and the atomic executes with the grant; the
+    /// old value is bound to the returned token. Update protocol: the
+    /// atomic executes at the directory (the serialization point).
+    pub fn issue_demand_rmw(
+        &mut self,
+        proc: ProcId,
+        addr: Addr,
+        kind: RmwKind,
+        operand: u64,
+    ) -> IssueResult {
+        match self.cfg.protocol {
+            Protocol::Invalidate => self.issue_owning_op(
+                proc,
+                addr,
+                PendingOp::Rmw {
+                    addr,
+                    kind,
+                    operand,
+                },
+            ),
+            Protocol::Update => self.issue_update_txn(proc, addr, Some(kind), operand),
+        }
+    }
+
+    /// Applies a demand op against the local cache (the line must be held
+    /// exclusively), binding values as needed.
+    fn apply_op(&mut self, proc: ProcId, token: DemandToken, op: PendingOp) {
+        match op {
+            PendingOp::Read { addr } => {
+                let v = self.caches[proc].read_word(addr);
+                self.bound_values.insert(token, v);
+            }
+            PendingOp::Write { addr, value } => {
+                self.caches[proc].write_word(addr, value);
+            }
+            PendingOp::Rmw {
+                addr,
+                kind,
+                operand,
+            } => {
+                let old = self.caches[proc].read_word(addr);
+                self.caches[proc].write_word(addr, kind.new_value(old, operand));
+                self.bound_values.insert(token, old);
+            }
+        }
+    }
+
+    /// Write/RMW path under the invalidation protocol: needs exclusive
+    /// ownership; the op is applied atomically with the grant.
+    fn issue_owning_op(&mut self, proc: ProcId, addr: Addr, op: PendingOp) -> IssueResult {
+        let line = self.line_of(addr);
+        let token = self.fresh_token();
+        if let Some(m) = self.mshrs[proc].get_mut(line) {
+            if m.exclusive {
+                if m.prefetch_only {
+                    m.prefetch_only = false;
+                    self.stats.prefetches_useful += 1;
+                }
+                m.pending.push((token, op));
+                let txn = m.txn;
+                self.stats.demand_merges += 1;
+                return IssueResult::Merged { txn, token };
+            }
+            // A shared fill is in flight; the write must wait for it and
+            // then upgrade.
+            return IssueResult::WaitForFill { txn: m.txn };
+        }
+        match self.caches[proc].state(line) {
+            Some(LineState::Exclusive) => {
+                if self.caches[proc].demand_touch(line) {
+                    self.stats.prefetches_useful += 1;
+                }
+                self.apply_op(proc, token, op);
+                self.stats.demand_hits += 1;
+                IssueResult::Hit { token }
+            }
+            Some(LineState::Shared) => {
+                // Upgrade in place: the line keeps its way and is pinned
+                // so it cannot be victimized mid-transaction (footnote 3).
+                if self.mshrs[proc].is_full() {
+                    return IssueResult::NoMshr;
+                }
+                self.caches[proc].pin(line);
+                let txn = self.fresh_txn();
+                self.mshrs[proc].allocate(Mshr {
+                    txn,
+                    line,
+                    exclusive: true,
+                    prefetch_only: false,
+                    is_upgrade: true,
+                    issued_at: self.now,
+                    pending: vec![(token, op)],
+                });
+                self.send_request(proc, line, ReqKind::GetExclusive, txn, false);
+                self.stats.demand_misses += 1;
+                IssueResult::Miss { txn, token }
+            }
+            None => self
+                .launch_fill(proc, addr, true, Some((token, op)))
+                .unwrap_or_else(|e| e),
+        }
+    }
+
+    /// Update-protocol write/RMW: a directory round trip; `rmw = None`
+    /// means a plain write of `value`, otherwise the RMW kind with
+    /// `value` as its operand.
+    fn issue_update_txn(
+        &mut self,
+        proc: ProcId,
+        addr: Addr,
+        rmw: Option<RmwKind>,
+        value: u64,
+    ) -> IssueResult {
+        let line = self.line_of(addr);
+        if let Some(m) = self.mshrs[proc].get(line) {
+            // Serialize same-line transactions from one processor.
+            return IssueResult::WaitForFill { txn: m.txn };
+        }
+        if self.mshrs[proc].is_full() {
+            return IssueResult::NoMshr;
+        }
+        let token = self.fresh_token();
+        let txn = self.fresh_txn();
+        let word_idx = (addr.offset(self.cfg.cache.block_bits) / 8) as usize;
+        let (kind, op) = match rmw {
+            None => {
+                // The writer's own copy is refreshed immediately (it is
+                // the writer's value); remote copies refresh at the
+                // directory's command.
+                self.caches[proc].update_word(addr, value);
+                (
+                    ReqKind::UpdateWrite { word_idx, value },
+                    PendingOp::Write { addr, value },
+                )
+            }
+            Some(k) => (
+                ReqKind::UpdateRmw {
+                    word_idx,
+                    kind: k,
+                    operand: value,
+                },
+                PendingOp::Rmw {
+                    addr,
+                    kind: k,
+                    operand: value,
+                },
+            ),
+        };
+        self.mshrs[proc].allocate(Mshr {
+            txn,
+            line,
+            exclusive: false,
+            prefetch_only: false,
+            is_upgrade: true, // no reserved way: nothing fills
+            issued_at: self.now,
+            pending: vec![(token, op)],
+        });
+        self.send_request(proc, line, kind, txn, false);
+        self.stats.demand_misses += 1;
+        IssueResult::Miss { txn, token }
+    }
+
+    /// Launches a fresh fill transaction. `Err` carries the resource
+    /// failure to return.
+    fn launch_fill(
+        &mut self,
+        proc: ProcId,
+        addr: Addr,
+        exclusive: bool,
+        pending: Option<(DemandToken, PendingOp)>,
+    ) -> Result<IssueResult, IssueResult> {
+        let line = self.line_of(addr);
+        let is_prefetch = pending.is_none();
+        if self.mshrs[proc].is_full() {
+            return Err(IssueResult::NoMshr);
+        }
+        match self.caches[proc].reserve(line) {
+            Err(crate::cache::SetFull) => Err(IssueResult::SetFull),
+            Ok(evicted) => {
+                self.handle_eviction(proc, evicted);
+                let txn = self.fresh_txn();
+                let token = pending.as_ref().map(|(t, _)| *t);
+                self.mshrs[proc].allocate(Mshr {
+                    txn,
+                    line,
+                    exclusive,
+                    prefetch_only: is_prefetch,
+                    is_upgrade: false,
+                    issued_at: self.now,
+                    pending: pending.into_iter().collect(),
+                });
+                let kind = if exclusive {
+                    ReqKind::GetExclusive
+                } else {
+                    ReqKind::GetShared
+                };
+                self.send_request(proc, line, kind, txn, is_prefetch);
+                if !is_prefetch {
+                    self.stats.demand_misses += 1;
+                }
+                Ok(IssueResult::Miss {
+                    txn,
+                    token: token.unwrap_or(DemandToken(0)),
+                })
+            }
+        }
+    }
+
+    /// Issues a non-binding prefetch: read (`exclusive = false`) or
+    /// read-exclusive (`exclusive = true`). The prefetch first checks the
+    /// cache and outstanding transactions, and is discarded if the line is
+    /// already on its way (§3.2).
+    pub fn issue_prefetch(&mut self, proc: ProcId, addr: Addr, exclusive: bool) -> PrefetchResult {
+        if exclusive && self.cfg.protocol == Protocol::Update {
+            self.stats.prefetches_unsupported += 1;
+            return PrefetchResult::Unsupported;
+        }
+        let line = self.line_of(addr);
+        if self.mshrs[proc].get(line).is_some() {
+            self.stats.prefetches_already_pending += 1;
+            return PrefetchResult::AlreadyPending;
+        }
+        match self.caches[proc].state(line) {
+            Some(LineState::Exclusive) => {
+                self.stats.prefetches_already_present += 1;
+                return PrefetchResult::AlreadyPresent;
+            }
+            Some(LineState::Shared) if !exclusive => {
+                self.stats.prefetches_already_present += 1;
+                return PrefetchResult::AlreadyPresent;
+            }
+            Some(LineState::Shared) => {
+                // Read-exclusive prefetch of a shared line: an upgrade.
+                // Pin the way for the duration (footnote 3).
+                if self.mshrs[proc].is_full() {
+                    self.stats.prefetches_no_resource += 1;
+                    return PrefetchResult::NoResource;
+                }
+                self.caches[proc].pin(line);
+                let txn = self.fresh_txn();
+                self.mshrs[proc].allocate(Mshr {
+                    txn,
+                    line,
+                    exclusive: true,
+                    prefetch_only: true,
+                    is_upgrade: true,
+                    issued_at: self.now,
+                    pending: Vec::new(),
+                });
+                self.send_request(proc, line, ReqKind::GetExclusive, txn, true);
+                self.stats.prefetches_issued += 1;
+                return PrefetchResult::Issued { txn };
+            }
+            None => {}
+        }
+        match self.launch_fill(proc, addr, exclusive, None) {
+            Ok(IssueResult::Miss { txn, .. }) => {
+                self.stats.prefetches_issued += 1;
+                PrefetchResult::Issued { txn }
+            }
+            Err(IssueResult::NoMshr | IssueResult::SetFull) => {
+                self.stats.prefetches_no_resource += 1;
+                PrefetchResult::NoResource
+            }
+            other => unreachable!("launch_fill returned {other:?} for a prefetch"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn send_request(
+        &mut self,
+        proc: ProcId,
+        line: LineAddr,
+        kind: ReqKind,
+        txn: TxnId,
+        is_prefetch: bool,
+    ) {
+        let hop = self.cfg.timings.hop;
+        let req = Request {
+            proc,
+            line,
+            kind,
+            txn,
+            is_prefetch,
+            issued_at: self.now,
+        };
+        self.schedule(self.now + hop, Action::DirReceive(req));
+    }
+
+    fn handle_eviction(&mut self, proc: ProcId, evicted: Evicted) {
+        match evicted {
+            Evicted::None => {}
+            Evicted::Clean { line } => {
+                // Synchronous directory update (atomic writeback — see the
+                // module docs).
+                self.dir.drop_copy(line, proc);
+                self.stats.replacements += 1;
+                self.outbox[proc].push(MemEvent::Replaced { line });
+            }
+            Evicted::Dirty { line, data } => {
+                self.dir.write_mem_line(line, data);
+                self.dir.drop_copy(line, proc);
+                self.stats.replacements += 1;
+                self.stats.writebacks += 1;
+                self.outbox[proc].push(MemEvent::Replaced { line });
+            }
+        }
+    }
+
+    fn handle(&mut self, action: Action) {
+        match action {
+            Action::DirReceive(req) => self.dir.push_arrival(req),
+            Action::LineFree(line) => self.dir.release_line(line),
+            Action::FlushBack { req, data } => self.finish_flush(req, data),
+            Action::Deliver { proc, msg } => self.deliver(proc, msg),
+        }
+    }
+
+    fn deliver(&mut self, proc: ProcId, msg: ProcMsg) {
+        match msg {
+            ProcMsg::Fill {
+                txn,
+                line,
+                exclusive,
+                data,
+            } => {
+                let m = self.mshrs[proc]
+                    .complete(line)
+                    .expect("fill without an outstanding MSHR");
+                debug_assert_eq!(m.txn, txn);
+                let state = if exclusive {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                self.caches[proc].fill(line, state, data, m.prefetch_only);
+                // Apply the demand operations atomically with the grant.
+                for (token, op) in m.pending {
+                    self.apply_op(proc, token, op);
+                }
+                self.outbox[proc].push(MemEvent::Done {
+                    txn,
+                    line,
+                    exclusive,
+                });
+            }
+            ProcMsg::WriteDone { txn, line, rmw } => {
+                let m = self.mshrs[proc]
+                    .complete(line)
+                    .expect("write-done without an outstanding MSHR");
+                debug_assert_eq!(m.txn, txn);
+                if let Some((addr, old, new)) = rmw {
+                    // Bind the RMW's old value to its token and refresh
+                    // the local copy.
+                    for (token, op) in &m.pending {
+                        if matches!(op, PendingOp::Rmw { .. }) {
+                            self.bound_values.insert(*token, old);
+                        }
+                    }
+                    self.caches[proc].update_word(addr, new);
+                }
+                self.outbox[proc].push(MemEvent::Done {
+                    txn,
+                    line,
+                    exclusive: false,
+                });
+            }
+            ProcMsg::Invalidate { line } => {
+                // An in-flight upgrade keeps its slot: the way becomes a
+                // reservation and the directory will answer with data.
+                let has_upgrade = self.mshrs[proc]
+                    .get(line)
+                    .is_some_and(|m| m.is_upgrade && m.exclusive);
+                if self.caches[proc].state(line).is_some() {
+                    if has_upgrade {
+                        self.caches[proc].demote_to_reserved(line);
+                    } else {
+                        self.caches[proc].invalidate(line);
+                    }
+                    self.stats.invalidations_delivered += 1;
+                    self.outbox[proc].push(MemEvent::Invalidated { line });
+                }
+            }
+            ProcMsg::Flush { line, share, req } => {
+                let hop = self.cfg.timings.hop;
+                let data = if share {
+                    let d = self.caches[proc].downgrade(line);
+                    if d.is_some() {
+                        self.outbox[proc].push(MemEvent::Invalidated { line });
+                    }
+                    d
+                } else {
+                    let d = self.caches[proc].invalidate(line);
+                    if d.is_some() {
+                        self.stats.invalidations_delivered += 1;
+                        self.outbox[proc].push(MemEvent::Invalidated { line });
+                    }
+                    d
+                };
+                self.schedule(self.now + hop, Action::FlushBack { req, data });
+            }
+            ProcMsg::Update { addr, value } => {
+                let line = self.line_of(addr);
+                if self.caches[proc].update_word(addr, value) {
+                    self.stats.updates_delivered += 1;
+                    self.outbox[proc].push(MemEvent::Updated { line, addr, value });
+                }
+            }
+        }
+    }
+
+    /// Completes a transaction that needed a remote flush: the owner's
+    /// data (or, if the owner had already written the line back, the
+    /// current memory image) is installed and the response dispatched.
+    fn finish_flush(&mut self, req: Request, data: Option<Box<[u64]>>) {
+        let t = self.cfg.timings;
+        if let Some(d) = data {
+            self.dir.write_mem_line(req.line, d);
+            self.stats.flushes += 1;
+        }
+        let line_data = self.dir.mem_line(req.line);
+        let exclusive = matches!(req.kind, ReqKind::GetExclusive);
+        self.schedule(
+            self.now + t.svc + t.hop,
+            Action::Deliver {
+                proc: req.proc,
+                msg: ProcMsg::Fill {
+                    txn: req.txn,
+                    line: req.line,
+                    exclusive,
+                    data: Some(line_data),
+                },
+            },
+        );
+    }
+
+    /// Services one directory transaction (the line is not busy).
+    fn service(&mut self, req: Request) {
+        let t = self.cfg.timings;
+        let ts = self.now;
+        self.stats.dir_transactions += 1;
+        let arrival = req.issued_at + t.hop;
+        self.stats.dir_queue_cycles += ts.saturating_sub(arrival);
+        let state = self.dir.state(req.line);
+
+        match req.kind {
+            ReqKind::GetShared => match state {
+                DirState::Owned(owner) if owner != req.proc => {
+                    // Remote dirty: flush-and-share. The new sharing state
+                    // is set now (the line is busy until the response is
+                    // sent, so no other transaction observes it early).
+                    self.dir.add_sharer(req.line, req.proc);
+                    self.schedule(
+                        ts + t.hop,
+                        Action::Deliver {
+                            proc: owner,
+                            msg: ProcMsg::Flush {
+                                line: req.line,
+                                share: true,
+                                req,
+                            },
+                        },
+                    );
+                    self.busy_for(req.line, ts + 2 * t.hop + t.svc);
+                }
+                _ => {
+                    self.dir.add_sharer(req.line, req.proc);
+                    let data = self.dir.mem_line(req.line);
+                    self.respond_fill(req, false, Some(data), ts + t.svc);
+                    self.busy_for(req.line, ts + t.svc);
+                }
+            },
+            ReqKind::GetExclusive => {
+                let copies = state.copies_excluding(req.proc);
+                let was_owner_remote = matches!(state, DirState::Owned(o) if o != req.proc);
+                let requester_has_copy = state.is_sharer(req.proc) || state.is_owner(req.proc);
+                self.dir.set_state(req.line, DirState::Owned(req.proc));
+                if was_owner_remote {
+                    // Flush-and-invalidate the remote owner; its data
+                    // rides back and out to the requester.
+                    let owner = copies[0];
+                    self.schedule(
+                        ts + t.hop,
+                        Action::Deliver {
+                            proc: owner,
+                            msg: ProcMsg::Flush {
+                                line: req.line,
+                                share: false,
+                                req,
+                            },
+                        },
+                    );
+                    self.busy_for(req.line, ts + 2 * t.hop + t.svc);
+                } else if copies.is_empty() {
+                    // Clean grant. Upgrade requesters already hold data.
+                    let data = if requester_has_copy {
+                        None
+                    } else {
+                        Some(self.dir.mem_line(req.line))
+                    };
+                    self.respond_fill(req, true, data, ts + t.svc);
+                    self.busy_for(req.line, ts + t.svc);
+                } else {
+                    // Invalidate sharers, then grant after the ack round
+                    // trip (acks are implicit: latencies are fixed). With
+                    // Adve–Hill early grants the response does not wait
+                    // for the acks — their visibility-control mechanism
+                    // (not timed here) preserves SC.
+                    for p in copies {
+                        self.schedule(
+                            ts + t.hop,
+                            Action::Deliver {
+                                proc: p,
+                                msg: ProcMsg::Invalidate { line: req.line },
+                            },
+                        );
+                    }
+                    let data = if requester_has_copy {
+                        None
+                    } else {
+                        Some(self.dir.mem_line(req.line))
+                    };
+                    let send = if self.cfg.early_grant_writes {
+                        ts + t.svc
+                    } else {
+                        ts + 2 * t.hop + t.svc
+                    };
+                    self.respond_fill(req, true, data, send);
+                    self.busy_for(req.line, ts + 2 * t.hop + t.svc);
+                }
+            }
+            ReqKind::UpdateWrite { word_idx, value } => {
+                let addr = Addr((req.line.0 << self.cfg.cache.block_bits) + (word_idx as u64) * 8);
+                self.dir.write_mem_word(addr, value);
+                let send = self.fan_out_updates(&req, state, addr, value, ts);
+                self.schedule(
+                    send + t.hop,
+                    Action::Deliver {
+                        proc: req.proc,
+                        msg: ProcMsg::WriteDone {
+                            txn: req.txn,
+                            line: req.line,
+                            rmw: None,
+                        },
+                    },
+                );
+                self.busy_for(req.line, send);
+            }
+            ReqKind::UpdateRmw {
+                word_idx,
+                kind,
+                operand,
+            } => {
+                let addr = Addr((req.line.0 << self.cfg.cache.block_bits) + (word_idx as u64) * 8);
+                let old = self.dir.read_mem_word(addr);
+                let new = kind.new_value(old, operand);
+                self.dir.write_mem_word(addr, new);
+                let send = self.fan_out_updates(&req, state, addr, new, ts);
+                self.schedule(
+                    send + t.hop,
+                    Action::Deliver {
+                        proc: req.proc,
+                        msg: ProcMsg::WriteDone {
+                            txn: req.txn,
+                            line: req.line,
+                            rmw: Some((addr, old, new)),
+                        },
+                    },
+                );
+                self.busy_for(req.line, send);
+            }
+        }
+    }
+
+    /// Sends update-protocol refreshes to every remote sharer; returns the
+    /// cycle the response may be sent (after the implicit ack round trip
+    /// when sharers exist).
+    fn fan_out_updates(
+        &mut self,
+        req: &Request,
+        state: DirState,
+        addr: Addr,
+        value: u64,
+        ts: u64,
+    ) -> u64 {
+        let t = self.cfg.timings;
+        let sharers = state.copies_excluding(req.proc);
+        let had_sharers = !sharers.is_empty();
+        for p in sharers {
+            self.schedule(
+                ts + t.hop,
+                Action::Deliver {
+                    proc: p,
+                    msg: ProcMsg::Update { addr, value },
+                },
+            );
+        }
+        if had_sharers {
+            ts + 2 * t.hop + t.svc
+        } else {
+            ts + t.svc
+        }
+    }
+
+    fn respond_fill(&mut self, req: Request, exclusive: bool, data: Option<Box<[u64]>>, send: u64) {
+        let t = self.cfg.timings;
+        self.schedule(
+            send + t.hop,
+            Action::Deliver {
+                proc: req.proc,
+                msg: ProcMsg::Fill {
+                    txn: req.txn,
+                    line: req.line,
+                    exclusive,
+                    data,
+                },
+            },
+        );
+    }
+
+    fn busy_for(&mut self, line: LineAddr, until: u64) {
+        self.dir.mark_busy(line, until);
+        self.schedule(until, Action::LineFree(line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_isa::RmwKind;
+
+    const A: Addr = Addr(0x1000);
+    const B: Addr = Addr(0x2000);
+
+    fn sys(nprocs: usize) -> MemorySystem {
+        MemorySystem::new(MemConfig::paper(), nprocs)
+    }
+
+    /// Ticks until an event arrives for `proc` or `limit` cycles pass.
+    fn run_until_event(s: &mut MemorySystem, proc: ProcId, limit: u64) -> (u64, Vec<MemEvent>) {
+        let start = s.now();
+        for c in start..=start + limit {
+            s.tick(c);
+            let ev = s.drain_events(proc);
+            if !ev.is_empty() {
+                return (c, ev);
+            }
+        }
+        panic!("no event within {limit} cycles");
+    }
+
+    #[test]
+    fn clean_read_miss_takes_exactly_100_cycles() {
+        let mut s = sys(1);
+        s.write_initial(A, 7);
+        s.tick(0);
+        let r = s.issue_demand_read(0, A);
+        let IssueResult::Miss { txn, token } = r else {
+            panic!("expected miss, got {r:?}");
+        };
+        let (cycle, ev) = run_until_event(&mut s, 0, 200);
+        assert_eq!(cycle, 100);
+        assert_eq!(
+            ev,
+            vec![MemEvent::Done {
+                txn,
+                line: s.line_of(A),
+                exclusive: false
+            }]
+        );
+        assert_eq!(s.take_bound_value(token), Some(7));
+        assert_eq!(s.take_bound_value(token), None, "bound values are consumed");
+    }
+
+    #[test]
+    fn read_hit_binds_value_at_issue() {
+        let mut s = sys(1);
+        s.write_initial(A, 3);
+        s.tick(0);
+        let IssueResult::Miss { token, .. } = s.issue_demand_read(0, A) else {
+            panic!()
+        };
+        let _ = run_until_event(&mut s, 0, 200);
+        assert_eq!(s.take_bound_value(token), Some(3));
+        // Now a hit.
+        let r = s.issue_demand_read(0, A);
+        assert!(matches!(r, IssueResult::Hit { .. }));
+        assert_eq!(s.stats().demand_hits, 1);
+    }
+
+    #[test]
+    fn write_miss_applies_store_at_grant() {
+        let mut s = sys(1);
+        s.tick(0);
+        let r = s.issue_demand_write(0, A, 5);
+        assert!(matches!(r, IssueResult::Miss { .. }));
+        let (cycle, ev) = run_until_event(&mut s, 0, 200);
+        assert_eq!(cycle, 100);
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+        assert_eq!(s.read_coherent(A), 5, "store performed with the grant");
+    }
+
+    #[test]
+    fn rmw_miss_binds_old_value() {
+        let mut s = sys(1);
+        s.write_initial(A, 0);
+        s.tick(0);
+        let IssueResult::Miss { token, .. } = s.issue_demand_rmw(0, A, RmwKind::TestAndSet, 0)
+        else {
+            panic!()
+        };
+        let _ = run_until_event(&mut s, 0, 200);
+        assert_eq!(s.take_bound_value(token), Some(0), "old value bound");
+        assert_eq!(s.read_coherent(A), 1, "test-and-set wrote 1");
+    }
+
+    #[test]
+    fn demand_merges_into_prefetch_and_completes_with_it() {
+        let mut s = sys(1);
+        s.write_initial(A, 11);
+        s.tick(0);
+        // Prefetch at cycle 0 (completes at 100), demand read at cycle 40.
+        let pf = s.issue_prefetch(0, A, false);
+        let PrefetchResult::Issued { txn } = pf else {
+            panic!("expected issue, got {pf:?}");
+        };
+        for c in 1..=40 {
+            s.tick(c);
+        }
+        let r = s.issue_demand_read(0, A);
+        let IssueResult::Merged { txn: t2, token } = r else {
+            panic!("expected merge, got {r:?}");
+        };
+        assert_eq!(t2, txn);
+        let (cycle, _) = run_until_event(&mut s, 0, 200);
+        assert_eq!(cycle, 100, "merged demand completes with the prefetch");
+        assert_eq!(s.take_bound_value(token), Some(11));
+        assert_eq!(s.stats().prefetches_useful, 1);
+        assert_eq!(s.stats().demand_merges, 1);
+    }
+
+    #[test]
+    fn write_merges_into_exclusive_prefetch() {
+        let mut s = sys(1);
+        s.tick(0);
+        let PrefetchResult::Issued { txn } = s.issue_prefetch(0, A, true) else {
+            panic!()
+        };
+        s.tick(1);
+        let r = s.issue_demand_write(0, A, 9);
+        assert!(matches!(r, IssueResult::Merged { txn: t, .. } if t == txn));
+        let _ = run_until_event(&mut s, 0, 200);
+        assert_eq!(s.read_coherent(A), 9);
+    }
+
+    #[test]
+    fn prefetch_discarded_when_line_present() {
+        let mut s = sys(1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A);
+        let _ = run_until_event(&mut s, 0, 200);
+        assert_eq!(
+            s.issue_prefetch(0, A, false),
+            PrefetchResult::AlreadyPresent
+        );
+        let _ = s.issue_prefetch(0, B, false);
+        assert_eq!(
+            s.issue_prefetch(0, B, false),
+            PrefetchResult::AlreadyPending
+        );
+    }
+
+    #[test]
+    fn exclusive_prefetch_upgrades_shared_line() {
+        let mut s = sys(1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A); // brings A shared
+        let _ = run_until_event(&mut s, 0, 200);
+        let r = s.issue_prefetch(0, A, true);
+        assert!(
+            matches!(r, PrefetchResult::Issued { .. }),
+            "upgrade prefetch: {r:?}"
+        );
+        let (_, ev) = run_until_event(&mut s, 0, 300);
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharer() {
+        let mut s = sys(2);
+        s.write_initial(A, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A); // proc 1 caches A shared
+        let _ = run_until_event(&mut s, 1, 200);
+        // Proc 0 writes A: needs exclusivity, must invalidate proc 1.
+        let _ = s.issue_demand_write(0, A, 9);
+        let (cycle, ev) = run_until_event(&mut s, 0, 400);
+        // Extra invalidation round trip: 198 total after issue at 100.
+        assert_eq!(cycle, 100 + 198);
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+        // Proc 1 saw the invalidation strictly before the grant.
+        let ev1 = s.drain_events(1);
+        assert_eq!(ev1, vec![MemEvent::Invalidated { line: s.line_of(A) }]);
+        assert_eq!(s.read_coherent(A), 9);
+    }
+
+    #[test]
+    fn read_of_remote_dirty_line_flushes_owner() {
+        let mut s = sys(2);
+        s.tick(0);
+        let _ = s.issue_demand_write(0, A, 77);
+        let _ = run_until_event(&mut s, 0, 200);
+        // Proc 1 reads A: dirty at proc 0 → flush.
+        let t0 = s.now();
+        let IssueResult::Miss { token, .. } = s.issue_demand_read(1, A) else {
+            panic!()
+        };
+        let (cycle, ev) = run_until_event(&mut s, 1, 400);
+        assert_eq!(
+            cycle - t0,
+            198,
+            "remote dirty miss costs an extra round trip"
+        );
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: false,
+                ..
+            }
+        ));
+        assert_eq!(s.take_bound_value(token), Some(77), "flushed data visible");
+        // Owner was downgraded and notified.
+        let ev0 = s.drain_events(0);
+        assert_eq!(ev0, vec![MemEvent::Invalidated { line: s.line_of(A) }]);
+        assert_eq!(s.caches[0].state(s.line_of(A)), Some(LineState::Shared));
+        assert_eq!(s.stats().flushes, 1);
+    }
+
+    #[test]
+    fn upgrade_from_shared() {
+        let mut s = sys(2);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A);
+        let _ = run_until_event(&mut s, 0, 200);
+        let t0 = s.now();
+        let r = s.issue_demand_write(0, A, 1);
+        assert!(
+            matches!(r, IssueResult::Miss { .. }),
+            "upgrade is a transaction"
+        );
+        let (cycle, ev) = run_until_event(&mut s, 0, 300);
+        assert_eq!(
+            cycle - t0,
+            100,
+            "uncontended upgrade costs a clean round trip"
+        );
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+        assert_eq!(s.read_coherent(A), 1);
+    }
+
+    #[test]
+    fn write_to_line_with_shared_fill_in_flight_waits() {
+        let mut s = sys(1);
+        s.tick(0);
+        let IssueResult::Miss { txn, .. } = s.issue_demand_read(0, A) else {
+            panic!()
+        };
+        let r = s.issue_demand_write(0, A, 1);
+        assert_eq!(r, IssueResult::WaitForFill { txn });
+    }
+
+    #[test]
+    fn mshr_exhaustion_reported() {
+        let mut cfg = MemConfig::paper();
+        cfg.mshrs = 1;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A);
+        assert_eq!(s.issue_demand_read(0, B), IssueResult::NoMshr);
+        assert_eq!(s.issue_prefetch(0, B, false), PrefetchResult::NoResource);
+    }
+
+    #[test]
+    fn set_conflict_reported() {
+        let mut cfg = MemConfig::paper();
+        cfg.cache.sets = 1;
+        cfg.cache.ways = 2;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, Addr(0));
+        let _ = s.issue_demand_read(0, Addr(64));
+        assert_eq!(s.issue_demand_read(0, Addr(128)), IssueResult::SetFull);
+    }
+
+    #[test]
+    fn eviction_notifies_and_writes_back() {
+        let mut cfg = MemConfig::paper();
+        cfg.cache.sets = 1;
+        cfg.cache.ways = 1;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.tick(0);
+        let _ = s.issue_demand_write(0, Addr(0), 42);
+        let _ = run_until_event(&mut s, 0, 200);
+        // Next fill evicts the dirty line; memory must see 42.
+        let _ = s.issue_demand_read(0, Addr(64));
+        let (_, ev) = run_until_event(&mut s, 0, 300);
+        assert!(ev.contains(&MemEvent::Replaced { line: LineAddr(0) }));
+        assert_eq!(s.read_coherent(Addr(0)), 42);
+        assert_eq!(s.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn update_protocol_write_refreshes_sharers() {
+        let mut cfg = MemConfig::paper();
+        cfg.protocol = Protocol::Update;
+        let mut s = MemorySystem::new(cfg, 2);
+        s.write_initial(A, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 1, 200);
+        let t0 = s.now();
+        let r = s.issue_demand_write(0, A, 9);
+        assert!(matches!(r, IssueResult::Miss { .. }));
+        let (cycle, _) = run_until_event(&mut s, 0, 400);
+        assert_eq!(cycle - t0, 198, "update write waits for remote acks");
+        // Sharer's copy was refreshed in place, not invalidated.
+        let ev1 = s.drain_events(1);
+        assert_eq!(
+            ev1,
+            vec![MemEvent::Updated {
+                line: s.line_of(A),
+                addr: A,
+                value: 9
+            }]
+        );
+        assert_eq!(s.read_word(1, A), 9);
+        assert_eq!(s.read_coherent(A), 9);
+    }
+
+    #[test]
+    fn update_protocol_rejects_exclusive_prefetch() {
+        let mut cfg = MemConfig::paper();
+        cfg.protocol = Protocol::Update;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.tick(0);
+        assert_eq!(s.issue_prefetch(0, A, true), PrefetchResult::Unsupported);
+        assert!(matches!(
+            s.issue_prefetch(0, A, false),
+            PrefetchResult::Issued { .. }
+        ));
+    }
+
+    #[test]
+    fn update_protocol_rmw_returns_old_value() {
+        let mut cfg = MemConfig::paper();
+        cfg.protocol = Protocol::Update;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.write_initial(A, 0);
+        s.tick(0);
+        let IssueResult::Miss { token, .. } = s.issue_demand_rmw(0, A, RmwKind::TestAndSet, 0)
+        else {
+            panic!()
+        };
+        let _ = run_until_event(&mut s, 0, 200);
+        assert_eq!(s.take_bound_value(token), Some(0));
+        assert_eq!(s.read_coherent(A), 1);
+    }
+
+    #[test]
+    fn upgrade_raced_by_invalidation_still_gets_data() {
+        let mut s = sys(2);
+        s.write_initial(A, 3);
+        s.tick(0);
+        // Both procs cache A shared.
+        let _ = s.issue_demand_read(0, A);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 0, 200);
+        let _ = run_until_event(&mut s, 1, 200);
+        // Both try to upgrade in the same cycle; one is serviced first,
+        // invalidating the other's copy while its upgrade is in flight;
+        // the loser must receive a full data fill (with the winner's
+        // value flushed through) and apply its own store on top.
+        let r0 = s.issue_demand_write(0, A, 10);
+        let r1 = s.issue_demand_write(1, A, 20);
+        assert!(matches!(r0, IssueResult::Miss { .. }));
+        assert!(matches!(r1, IssueResult::Miss { .. }));
+        let mut grants = Vec::new();
+        for c in s.now() + 1..s.now() + 900 {
+            s.tick(c);
+            for p in 0..2 {
+                for e in s.drain_events(p) {
+                    if matches!(
+                        e,
+                        MemEvent::Done {
+                            exclusive: true,
+                            ..
+                        }
+                    ) {
+                        grants.push((c, p));
+                    }
+                }
+            }
+        }
+        assert_eq!(grants.len(), 2, "both writes eventually granted");
+        assert!(grants[1].0 > grants[0].0, "grants strictly ordered");
+        // The final value is the last writer's.
+        let winner_value = if grants[1].1 == 0 { 10 } else { 20 };
+        assert_eq!(s.read_coherent(A), winner_value);
+    }
+
+    #[test]
+    fn two_misses_pipeline_one_cycle_apart() {
+        let mut s = sys(1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A);
+        s.tick(1);
+        let _ = s.issue_demand_read(0, B);
+        let mut done_cycles = Vec::new();
+        for c in 2..=200 {
+            s.tick(c);
+            for e in s.drain_events(0) {
+                if matches!(e, MemEvent::Done { .. }) {
+                    done_cycles.push(c);
+                }
+            }
+        }
+        assert_eq!(done_cycles, vec![100, 101], "lockup-free pipelining");
+    }
+
+    #[test]
+    fn contended_line_serializes_at_directory() {
+        let mut s = sys(2);
+        s.tick(0);
+        // Both processors write-miss the same line in the same cycle.
+        let _ = s.issue_demand_write(0, A, 1);
+        let _ = s.issue_demand_write(1, A, 2);
+        let mut grants = Vec::new();
+        for c in 1..=800 {
+            s.tick(c);
+            for p in 0..2 {
+                for e in s.drain_events(p) {
+                    if matches!(
+                        e,
+                        MemEvent::Done {
+                            exclusive: true,
+                            ..
+                        }
+                    ) {
+                        grants.push((c, p));
+                    }
+                }
+            }
+        }
+        assert_eq!(grants.len(), 2);
+        assert!(
+            grants[1].0 > grants[0].0,
+            "second grant strictly after the first: {grants:?}"
+        );
+        // The last writer's value wins (stores applied at grant).
+        let last = grants[1].1 as u64 + 1;
+        assert_eq!(s.read_coherent(A), last);
+    }
+
+    #[test]
+    fn early_grant_skips_invalidation_round_trip() {
+        // Adve-Hill mode (§6): the write is granted without waiting for
+        // the sharer acks; the invalidations still go out.
+        let mut cfg = MemConfig::paper();
+        cfg.early_grant_writes = true;
+        let mut s = MemorySystem::new(cfg, 2);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 1, 200);
+        let t0 = s.now();
+        let _ = s.issue_demand_write(0, A, 9);
+        let (cycle, ev) = run_until_event(&mut s, 0, 400);
+        assert_eq!(
+            cycle - t0,
+            100,
+            "grant at clean-miss latency despite sharers"
+        );
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+        // The sharer is still invalidated (later).
+        let (_, ev1) = run_until_event(&mut s, 1, 400);
+        assert!(matches!(ev1[0], MemEvent::Invalidated { .. }));
+    }
+
+    #[test]
+    fn snapshot_reflects_exclusive_cached_values() {
+        let mut s = sys(1);
+        s.tick(0);
+        let _ = s.issue_demand_write(0, A, 5);
+        let _ = run_until_event(&mut s, 0, 200);
+        // The dirty value lives only in the cache; the snapshot must
+        // still see it.
+        let snap = s.snapshot_coherent();
+        assert_eq!(snap.get(&A.0).copied(), Some(5));
+    }
+
+    #[test]
+    fn pinned_upgrade_line_survives_set_pressure() {
+        // One set, one way: the line being upgraded must not be
+        // victimized while its transaction is in flight; the conflicting
+        // access reports SetFull instead.
+        let mut cfg = MemConfig::paper();
+        cfg.cache.sets = 1;
+        cfg.cache.ways = 1;
+        let mut s = MemorySystem::new(cfg, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, Addr(0));
+        let _ = run_until_event(&mut s, 0, 200);
+        // Upgrade in flight pins the line.
+        let r = s.issue_demand_write(0, Addr(0), 1);
+        assert!(matches!(r, IssueResult::Miss { .. }));
+        assert_eq!(s.issue_demand_read(0, Addr(64)), IssueResult::SetFull);
+        let (_, ev) = run_until_event(&mut s, 0, 300);
+        assert!(matches!(
+            ev[0],
+            MemEvent::Done {
+                exclusive: true,
+                ..
+            }
+        ));
+        assert_eq!(s.read_coherent(Addr(0)), 1);
+        // After the fill the pin is released and the conflicting read can
+        // evict it.
+        let r = s.issue_demand_read(0, Addr(64));
+        assert!(matches!(r, IssueResult::Miss { .. }));
+    }
+
+    #[test]
+    fn flush_after_replacement_falls_back_to_memory() {
+        // Owner writes a line, evicts it (synchronous writeback), and a
+        // remote read whose flush was already in flight must still get
+        // the current data from memory.
+        let mut cfg = MemConfig::paper();
+        cfg.cache.sets = 1;
+        cfg.cache.ways = 1;
+        let mut s = MemorySystem::new(cfg, 2);
+        s.tick(0);
+        let _ = s.issue_demand_write(0, A, 77);
+        let _ = run_until_event(&mut s, 0, 200);
+        // Proc 1 reads A (flush heads toward proc 0)...
+        let IssueResult::Miss { token, .. } = s.issue_demand_read(1, A) else {
+            panic!()
+        };
+        // ...while proc 0 evicts A before the flush lands.
+        for c in s.now() + 1..s.now() + 30 {
+            s.tick(c);
+        }
+        let _ = s.issue_demand_read(0, B); // evicts A (1 set x 1 way)
+        let (_, ev1) = run_until_event(&mut s, 1, 500);
+        assert!(matches!(ev1[0], MemEvent::Done { .. }));
+        assert_eq!(s.take_bound_value(token), Some(77), "memory copy current");
+    }
+
+    #[test]
+    fn preload_rejects_conflicts() {
+        let mut s = sys(2);
+        s.preload(0, A, true);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s2 = sys(2);
+            s2.preload(0, A, true);
+            s2.preload(1, A, false); // conflicts with exclusive owner
+        }));
+        assert!(r.is_err(), "conflicting preload must panic");
+        let _ = s;
+    }
+
+    #[test]
+    fn invalidation_strictly_precedes_new_owner_grant() {
+        // The property the speculative-load buffer relies on: when another
+        // processor's write performs, every cache that held the line has
+        // already seen the invalidation.
+        let mut s = sys(2);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 1, 200);
+        let _ = s.issue_demand_write(0, A, 9);
+        let mut inval_at = None;
+        let mut grant_at = None;
+        for c in s.now() + 1..s.now() + 400 {
+            s.tick(c);
+            for e in s.drain_events(1) {
+                if matches!(e, MemEvent::Invalidated { .. }) {
+                    inval_at = Some(c);
+                }
+            }
+            for e in s.drain_events(0) {
+                if matches!(
+                    e,
+                    MemEvent::Done {
+                        exclusive: true,
+                        ..
+                    }
+                ) {
+                    grant_at = Some(c);
+                }
+            }
+        }
+        assert!(
+            inval_at.unwrap() < grant_at.unwrap(),
+            "invalidation ({inval_at:?}) must precede grant ({grant_at:?})"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Processor configuration and the technique switches.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the paper's two techniques are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Techniques {
+    /// §3: hardware-controlled non-binding prefetch for consistency-
+    /// delayed accesses (read prefetch for loads, read-exclusive for
+    /// stores and RMWs).
+    pub prefetch: bool,
+    /// §4: speculative execution for load accesses, with the
+    /// speculative-load buffer providing detection and correction.
+    pub speculative_loads: bool,
+}
+
+impl Techniques {
+    /// Conventional implementation: both techniques off.
+    pub const NONE: Techniques = Techniques {
+        prefetch: false,
+        speculative_loads: false,
+    };
+    /// Prefetch only.
+    pub const PREFETCH: Techniques = Techniques {
+        prefetch: true,
+        speculative_loads: false,
+    };
+    /// Speculative loads only.
+    pub const SPECULATION: Techniques = Techniques {
+        prefetch: false,
+        speculative_loads: true,
+    };
+    /// Both techniques — the paper's full proposal (§4.3 combines
+    /// speculative loads with prefetch for stores).
+    pub const BOTH: Techniques = Techniques {
+        prefetch: true,
+        speculative_loads: true,
+    };
+
+    /// All four design points, in ablation order.
+    pub const ALL: [Techniques; 4] = [
+        Techniques::NONE,
+        Techniques::PREFETCH,
+        Techniques::SPECULATION,
+        Techniques::BOTH,
+    ];
+
+    /// Short label for report rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match (self.prefetch, self.speculative_loads) {
+            (false, false) => "base",
+            (true, false) => "prefetch",
+            (false, true) => "spec",
+            (true, true) => "pf+spec",
+        }
+    }
+}
+
+impl fmt::Display for Techniques {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Microarchitectural parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcConfig {
+    /// Technique switches.
+    pub techniques: Techniques,
+    /// Reorder-buffer capacity (the instruction lookahead window; §3.2
+    /// notes prefetching is limited by it).
+    pub rob_size: usize,
+    /// Instructions fetched/decoded per cycle. `None` = ideal frontend
+    /// (the paper's walk-throughs assume instructions are already decoded
+    /// and buffered: "the instructions are assumed to be decoded and
+    /// placed in the reorder buffer", §4.3).
+    pub fetch_width: Option<usize>,
+    /// Instructions retired per cycle (`None` = unbounded).
+    pub commit_width: Option<usize>,
+    /// Extra cycles to compute an effective address once its operands are
+    /// ready. The paper ignores this delay ("we will ignore the delay due
+    /// to address calculation", §3.3), so the default is 0.
+    pub addr_calc_latency: u64,
+    /// Cycles between a squash and the first refetched instruction
+    /// entering the reorder buffer.
+    pub refetch_penalty: u64,
+    /// Forward store-buffer data to later same-address loads (dependence
+    /// checking on the store buffer, §4.2). Always safe; disabling forces
+    /// such loads to wait for the store to perform.
+    pub store_forwarding: bool,
+    /// Footnote 2 ablation: under the *update* protocol, update hazards
+    /// carry the written word and value, so the two provably-safe cases —
+    /// false sharing (a different word of the line) and a same-value
+    /// write — can be discriminated instead of conservatively rolling
+    /// back. `false` (default) keeps the paper's conservative behavior.
+    pub exact_update_check: bool,
+}
+
+impl ProcConfig {
+    /// The paper-calibrated configuration: ideal frontend, 64-entry ROB,
+    /// zero address-calculation delay.
+    #[must_use]
+    pub fn paper(techniques: Techniques) -> Self {
+        ProcConfig {
+            techniques,
+            rob_size: 64,
+            fetch_width: None,
+            commit_width: None,
+            addr_calc_latency: 0,
+            refetch_penalty: 1,
+            store_forwarding: true,
+            exact_update_check: false,
+        }
+    }
+
+    /// A finite-width frontend variant (for lookahead sensitivity
+    /// experiments, E13).
+    #[must_use]
+    pub fn with_window(techniques: Techniques, rob_size: usize, width: usize) -> Self {
+        ProcConfig {
+            rob_size,
+            fetch_width: Some(width),
+            ..Self::paper(techniques)
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    /// If the ROB is empty or a width is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.rob_size >= 2,
+            "reorder buffer needs at least 2 entries"
+        );
+        if let Some(w) = self.fetch_width {
+            assert!(w > 0, "fetch width must be positive");
+        }
+        if let Some(w) = self.commit_width {
+            assert!(w > 0, "commit width must be positive");
+        }
+    }
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        ProcConfig::paper(Techniques::BOTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Techniques::NONE.label(), "base");
+        assert_eq!(Techniques::PREFETCH.label(), "prefetch");
+        assert_eq!(Techniques::SPECULATION.label(), "spec");
+        assert_eq!(Techniques::BOTH.label(), "pf+spec");
+        assert_eq!(Techniques::ALL.len(), 4);
+    }
+
+    #[test]
+    fn paper_config_is_ideal() {
+        let c = ProcConfig::paper(Techniques::BOTH);
+        c.validate();
+        assert_eq!(c.fetch_width, None);
+        assert_eq!(c.addr_calc_latency, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_rob_rejected() {
+        ProcConfig {
+            rob_size: 1,
+            ..ProcConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,50 @@
+//! # mcsim-proc — the dynamically scheduled processor
+//!
+//! An implementation of the processor organization of §4.2 of
+//! Gharachorloo, Gupta & Hennessy (ICPP 1991) — Johnson's dynamically
+//! scheduled design (Figure 3) with the modified load/store unit of
+//! Figure 4:
+//!
+//! * [`rob`] — the reorder buffer: register renaming, storage for
+//!   uncommitted results, in-order retirement (precise interrupts), and
+//!   the squash machinery shared by branch misprediction and
+//!   speculative-load correction.
+//! * [`btb`] — branch prediction (static hints + a 2-bit-counter branch
+//!   target buffer), letting execution proceed past unresolved branches —
+//!   the lookahead both techniques feed on (§3.2).
+//! * [`storebuf`] — the store buffer: stores are held until the reorder
+//!   buffer signals they reached the head (precise interrupts), then
+//!   issue under the consistency model's store-side delay arcs. Under SC
+//!   the store at the head also retires only when it *completes*,
+//!   serializing stores; under RC it retires at address translation,
+//!   pipelining them (§4.2).
+//! * [`specbuf`] — the speculative-load buffer (the paper's central new
+//!   structure): four fields per entry (`load address`, `acq`, `done`,
+//!   `store tag`), FIFO retirement, and an associative match against
+//!   invalidations, updates, and replacements that detects incorrect
+//!   speculation (§4.2).
+//! * [`core`] — the processor proper: ideal or width-limited frontend,
+//!   in-order address unit, the cache-port arbitration that gives the
+//!   paper's merge-completes-with-prefetch timing, the hardware prefetch
+//!   unit (§3), speculative load issue (§4), RMW splitting (Appendix A),
+//!   and the two-tier correction mechanism (rollback when the speculated
+//!   value was consumed, reissue when it was not).
+//!
+//! The two techniques are switched independently via [`Techniques`], so a
+//! single core models all four design points the paper compares:
+//! conventional, prefetch-only, speculation-only, and both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btb;
+pub mod config;
+pub mod core;
+pub mod rob;
+pub mod specbuf;
+pub mod stats;
+pub mod storebuf;
+
+pub use config::{ProcConfig, Techniques};
+pub use core::{CoreEvent, Processor};
+pub use stats::ProcStats;

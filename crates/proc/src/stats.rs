@@ -1,0 +1,209 @@
+//! Per-core statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A power-of-two-bucketed latency histogram: bucket `i` counts samples
+/// with `2^i <= latency < 2^(i+1)` (bucket 0 also takes latency 0 and 1).
+/// Cheap, `Copy`, and good enough to see the paper's effects — hit/miss
+/// bimodality, and how the techniques move mass from the serialized tail
+/// into the overlapped head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: [u64; 20],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 20] }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
+        self.buckets[b.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Samples at or below `latency` (bucket-granular upper bound).
+    #[must_use]
+    pub fn count_up_to(&self, latency: u64) -> u64 {
+        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
+        self.buckets[..=b.min(self.buckets.len() - 1)].iter().sum()
+    }
+
+    /// `(lower_bound, count)` for each non-empty bucket.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Merges another histogram.
+    pub fn merge(&mut self, o: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Counters kept by one core across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Instructions committed (retired from the reorder buffer).
+    pub committed: u64,
+    /// Committed loads (including RMWs).
+    pub loads: u64,
+    /// Committed stores (including RMWs).
+    pub stores: u64,
+    /// Committed atomic read-modify-writes.
+    pub rmws: u64,
+    /// Loads whose value came from store-to-load forwarding.
+    pub loads_forwarded: u64,
+    /// Loads issued speculatively (entered the speculative-load buffer).
+    pub speculative_loads: u64,
+    /// Detection hits that required a full rollback (value had been
+    /// consumed — the branch-mispredict-style correction).
+    pub rollbacks: u64,
+    /// Detection hits fixed by reissuing the load only (value not yet
+    /// consumed).
+    pub reissues: u64,
+    /// Update hazards ignored by the exact-update check (false sharing or
+    /// same-value writes — footnote 2's provably-safe cases).
+    pub hazards_filtered: u64,
+    /// Instructions squashed by speculative-load rollbacks.
+    pub squashed_by_spec: u64,
+    /// Instructions squashed by branch mispredictions.
+    pub squashed_by_branch: u64,
+    /// Branch instructions resolved.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Prefetches the prefetch unit requested (before cache filtering).
+    pub prefetch_requests: u64,
+    /// Cycles the core could not issue any memory operation although at
+    /// least one was waiting (consistency stall measure).
+    pub stall_cycles: u64,
+    /// Cycle the core halted (all work drained).
+    pub halted_at: u64,
+    /// Issue-to-perform latency of demand loads (excluding forwarded).
+    pub load_latency: LatencyHistogram,
+    /// Issue-to-perform latency of stores and RMW atomics.
+    pub store_latency: LatencyHistogram,
+}
+
+impl ProcStats {
+    /// Rollback rate per speculative load (0 if none).
+    #[must_use]
+    pub fn rollback_rate(&self) -> f64 {
+        if self.speculative_loads == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.speculative_loads as f64
+        }
+    }
+
+    /// Branch misprediction rate (0 if no branches).
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Merges another core's counters into this one (machine totals).
+    pub fn merge(&mut self, o: &ProcStats) {
+        self.committed += o.committed;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.rmws += o.rmws;
+        self.loads_forwarded += o.loads_forwarded;
+        self.speculative_loads += o.speculative_loads;
+        self.rollbacks += o.rollbacks;
+        self.reissues += o.reissues;
+        self.hazards_filtered += o.hazards_filtered;
+        self.squashed_by_spec += o.squashed_by_spec;
+        self.squashed_by_branch += o.squashed_by_branch;
+        self.branches += o.branches;
+        self.branch_mispredicts += o.branch_mispredicts;
+        self.prefetch_requests += o.prefetch_requests;
+        self.stall_cycles += o.stall_cycles;
+        self.halted_at = self.halted_at.max(o.halted_at);
+        self.load_latency.merge(&o.load_latency);
+        self.store_latency.merge(&o.store_latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = ProcStats {
+            speculative_loads: 4,
+            rollbacks: 1,
+            branches: 10,
+            branch_mispredicts: 2,
+            ..Default::default()
+        };
+        assert!((s.rollback_rate() - 0.25).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(ProcStats::default().rollback_rate(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(100);
+        h.record(1 << 30); // clamps into the last bucket
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.count_up_to(1), 2);
+        assert_eq!(h.count_up_to(3), 4);
+        let nz: Vec<_> = h.nonzero().collect();
+        assert!(nz.contains(&(1, 2)));
+        assert!(nz.contains(&(2, 2)));
+        assert!(nz.contains(&(64, 1)));
+        let mut h2 = LatencyHistogram::new();
+        h2.record(100);
+        h.merge(&h2);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = ProcStats {
+            committed: 5,
+            halted_at: 10,
+            ..Default::default()
+        };
+        let b = ProcStats {
+            committed: 7,
+            halted_at: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 12);
+        assert_eq!(a.halted_at, 10);
+    }
+}

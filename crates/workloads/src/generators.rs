@@ -1,0 +1,368 @@
+//! Parameterized synthetic workload generators.
+//!
+//! The paper's §5 argues its claims should be substantiated "with
+//! extensive simulation experiments"; these generators provide the
+//! workload axes those experiments sweep: synchronization density,
+//! contention, hit/miss interleaving, and address-dependence depth.
+
+use mcsim_isa::reg::{R1, R2, R3};
+use mcsim_isa::{AddrExpr, AluOp, Program, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Base address of generated shared data regions.
+pub const DATA_BASE: u64 = 0x10_000;
+/// Base address of generated locks.
+pub const LOCK_BASE: u64 = 0x40;
+/// Line stride (64-byte blocks).
+pub const LINE: u64 = 64;
+
+/// Parameters for the critical-section workload (the paper's central
+/// motif: producers/consumers updating shared data under locks).
+#[derive(Debug, Clone, Copy)]
+pub struct CriticalSections {
+    /// Number of processors.
+    pub procs: usize,
+    /// Critical sections each processor executes.
+    pub sections: usize,
+    /// Loads per section.
+    pub reads: usize,
+    /// Stores per section.
+    pub writes: usize,
+    /// Distinct locks (1 = full contention; `procs` = none).
+    pub locks: usize,
+    /// Distinct shared data lines per lock region.
+    pub lines_per_region: usize,
+    /// Local ALU work between sections (cycles).
+    pub think: u32,
+    /// Each processor sticks to its own lock/region (`lock = proc %
+    /// locks`) instead of rotating through all of them. Private regions
+    /// make the workload latency-dominated (the paper's §3.3 setting:
+    /// "no other processes are writing to the locations"); rotation makes
+    /// it sharing-dominated.
+    pub private_regions: bool,
+    /// RNG seed (address selection).
+    pub seed: u64,
+}
+
+impl Default for CriticalSections {
+    fn default() -> Self {
+        CriticalSections {
+            procs: 2,
+            sections: 4,
+            reads: 3,
+            writes: 3,
+            locks: 1,
+            lines_per_region: 8,
+            think: 0,
+            private_regions: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds one program per processor: repeated lock → reads+writes →
+/// unlock, data-race-free by construction (each data region is touched
+/// only under its lock).
+#[must_use]
+pub fn critical_sections(p: &CriticalSections) -> Vec<Program> {
+    assert!(p.procs > 0 && p.locks > 0 && p.lines_per_region > 0);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..p.procs)
+        .map(|proc| {
+            let mut b = ProgramBuilder::new(format!("cs-p{proc}"));
+            for s in 0..p.sections {
+                let lock_idx = if p.private_regions {
+                    proc % p.locks
+                } else {
+                    (proc + s) % p.locks
+                };
+                let lock = LOCK_BASE + (lock_idx as u64) * LINE;
+                let region = DATA_BASE + (lock_idx as u64) * 0x1000;
+                b = b.lock(lock, R1);
+                for _ in 0..p.reads {
+                    let a = region + rng.gen_range(0..p.lines_per_region as u64) * LINE;
+                    b = b.load(R2, a);
+                }
+                for _ in 0..p.writes {
+                    let a = region + rng.gen_range(0..p.lines_per_region as u64) * LINE;
+                    b = b.store(a, proc as u64 + 1);
+                }
+                b = b.unlock(lock);
+                if p.think > 0 {
+                    b = b.alu_lat(R3, AluOp::Add, R3, 1u64, p.think);
+                }
+            }
+            b.halt().build().expect("generated program is valid")
+        })
+        .collect()
+}
+
+/// A flag-based producer/consumer hand-off chain: `stages` processors,
+/// each waiting for the previous stage's flag, transforming `values`
+/// data words, and signalling the next.
+#[must_use]
+pub fn pipeline_handoff(stages: usize, values: usize) -> Vec<Program> {
+    assert!(stages >= 2 && values >= 1);
+    let flag = |s: usize| 0x8000 + (s as u64) * LINE;
+    let data = |i: usize| DATA_BASE + (i as u64) * LINE;
+    (0..stages)
+        .map(|s| {
+            let mut b = ProgramBuilder::new(format!("pipe-s{s}"));
+            if s > 0 {
+                b = b.spin_until(flag(s - 1), 1, R1);
+            }
+            for i in 0..values {
+                if s == 0 {
+                    b = b.store(data(i), (i + 1) as u64);
+                } else {
+                    b = b
+                        .load(R2, data(i))
+                        .alu(R2, AluOp::Add, R2, 100u64)
+                        .store(data(i), R2);
+                }
+            }
+            b = b.store_release(flag(s), 1u64);
+            b.halt().build().expect("generated program is valid")
+        })
+        .collect()
+}
+
+/// A single-processor array sweep: `n` loads (or stores) to consecutive
+/// lines — maximal pipelining opportunity, no dependences.
+#[must_use]
+pub fn array_sweep(n: usize, store: bool) -> Program {
+    let mut b = ProgramBuilder::new(if store { "sweep-st" } else { "sweep-ld" });
+    for i in 0..n {
+        let a = DATA_BASE + (i as u64) * LINE;
+        b = if store {
+            b.store(a, i as u64)
+        } else {
+            b.load(R1, a)
+        };
+    }
+    b.halt().build().expect("generated program is valid")
+}
+
+/// A pointer chase of `len` dependent loads: each load's address comes
+/// from the previous load's value. No technique can pipeline it — the
+/// lower bound both the paper's techniques run into.
+///
+/// Returns the program and the memory image encoding the chain.
+#[must_use]
+pub fn pointer_chase(len: usize, seed: u64) -> (Program, BTreeMap<u64, u64>) {
+    assert!(len >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build a random permutation chain of line-aligned indices.
+    let mut idx: Vec<u64> = (1..=len as u64).collect();
+    for i in (1..idx.len()).rev() {
+        idx.swap(i, rng.gen_range(0..=i));
+    }
+    let mut mem = BTreeMap::new();
+    let mut prev = 0u64;
+    for &next in &idx {
+        mem.insert(DATA_BASE + prev * LINE, next);
+        prev = next;
+    }
+    let mut b = ProgramBuilder::new("pointer-chase").alu(R1, AluOp::Add, 0u64, 0u64);
+    for _ in 0..len {
+        b = b.load(R1, AddrExpr::indexed(DATA_BASE, R1, LINE));
+    }
+    let p = b.halt().build().expect("generated program is valid");
+    (p, mem)
+}
+
+/// The §3.3 prefetch-limitation pattern, generalized: a sequence of
+/// loads where every `period`-th load *hits* in the cache and the next
+/// load's address depends on the hit's value (like `read D (hit)` →
+/// `read E[D]`). Prefetching pipelines the misses but cannot consume the
+/// hit values out of order; speculation can.
+///
+/// Returns per-processor programs (one), the memory image, and the
+/// addresses that must be preloaded into processor 0's cache.
+#[must_use]
+pub fn hit_dependence_chain(
+    groups: usize,
+    misses_per_group: usize,
+) -> (Program, BTreeMap<u64, u64>, Vec<u64>) {
+    assert!(groups >= 1 && misses_per_group >= 1);
+    let mut mem = BTreeMap::new();
+    let mut preload = Vec::new();
+    let mut b = ProgramBuilder::new("hit-dep-chain");
+    let table = 0x80_000u64;
+    for g in 0..groups as u64 {
+        let region = DATA_BASE + g * 0x1000;
+        for m in 0..misses_per_group as u64 {
+            b = b.load(R2, region + m * LINE);
+        }
+        // The hit whose value gates the next group's first address.
+        let hit_addr = 0x60_000 + g * LINE;
+        mem.insert(hit_addr, g + 1);
+        preload.push(hit_addr);
+        b = b.load(R1, hit_addr);
+        // Dependent load: address = table + value * line.
+        b = b.load(R3, AddrExpr::indexed(table, R1, LINE));
+        mem.insert(table + (g + 1) * LINE, 0xBEEF);
+    }
+    let p = b.halt().build().expect("generated program is valid");
+    (p, mem, preload)
+}
+
+/// Parameters for random program generation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomParams {
+    /// Number of processors.
+    pub procs: usize,
+    /// Memory operations per processor.
+    pub ops: usize,
+    /// Distinct shared words.
+    pub addrs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams {
+            procs: 2,
+            ops: 4,
+            addrs: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Random *racy* programs: unsynchronized loads/stores over a small set
+/// of shared words (plus occasional register arithmetic). Small enough
+/// for the SC oracle to enumerate; used to property-test that SC
+/// executions stay in the oracle set no matter which techniques are on.
+#[must_use]
+pub fn random_racy(p: &RandomParams) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    (0..p.procs)
+        .map(|proc| {
+            let mut b = ProgramBuilder::new(format!("racy-p{proc}"));
+            for _ in 0..p.ops {
+                let addr = DATA_BASE + rng.gen_range(0..p.addrs as u64) * LINE;
+                match rng.gen_range(0..10u32) {
+                    0..=4 => {
+                        let dst = if rng.gen() { R1 } else { R2 };
+                        b = b.load(dst, addr);
+                    }
+                    5..=8 => {
+                        let v = rng.gen_range(1..100u64);
+                        b = b.store(addr, v);
+                    }
+                    _ => {
+                        b = b.alu(R3, AluOp::Add, R1, R2);
+                    }
+                }
+            }
+            b.halt().build().expect("generated program is valid")
+        })
+        .collect()
+}
+
+/// Random *data-race-free* programs: every shared access happens inside
+/// a critical section on a single global lock. Any consistency model
+/// must give these SC semantics (§5 of the paper).
+#[must_use]
+pub fn random_drf(p: &RandomParams) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(p.seed ^ 0xD12F);
+    (0..p.procs)
+        .map(|proc| {
+            let mut b = ProgramBuilder::new(format!("drf-p{proc}"));
+            let mut remaining = p.ops;
+            while remaining > 0 {
+                let burst = rng.gen_range(1..=remaining.min(3));
+                b = b.lock(LOCK_BASE, R1);
+                for _ in 0..burst {
+                    let addr = DATA_BASE + rng.gen_range(0..p.addrs as u64) * LINE;
+                    if rng.gen() {
+                        b = b.load(R2, addr);
+                    } else {
+                        let v = rng.gen_range(1..100u64);
+                        b = b.store(addr, v);
+                    }
+                }
+                b = b.unlock(LOCK_BASE);
+                remaining -= burst;
+            }
+            b.halt().build().expect("generated program is valid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_sections_shape() {
+        let ps = critical_sections(&CriticalSections::default());
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            // 4 sections × (lock rmw + 3 reads + 3 writes + unlock) = 32.
+            assert_eq!(p.mem_instr_count(), 32);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = critical_sections(&CriticalSections::default());
+        let b = critical_sections(&CriticalSections::default());
+        assert_eq!(a[0].instrs(), b[0].instrs());
+        let (p1, m1) = pointer_chase(5, 7);
+        let (p2, m2) = pointer_chase(5, 7);
+        assert_eq!(p1.instrs(), p2.instrs());
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn pointer_chase_chain_is_complete() {
+        let (_, mem) = pointer_chase(8, 3);
+        // Follow the chain from 0 for 8 hops; all must exist.
+        let mut cur = 0u64;
+        for _ in 0..8 {
+            cur = *mem
+                .get(&(DATA_BASE + cur * LINE))
+                .expect("chain link present");
+        }
+    }
+
+    #[test]
+    fn hit_dependence_chain_preloads_hits() {
+        let (p, mem, preload) = hit_dependence_chain(3, 2);
+        assert_eq!(preload.len(), 3);
+        for a in &preload {
+            assert!(mem.contains_key(a));
+        }
+        // 3 groups × (2 misses + hit + dependent) = 12 loads.
+        assert_eq!(p.mem_instr_count(), 12);
+    }
+
+    #[test]
+    fn pipeline_handoff_stage_count() {
+        let ps = pipeline_handoff(3, 2);
+        assert_eq!(ps.len(), 3);
+        // Middle stages spin, transform, signal.
+        assert!(ps[1].mem_instr_count() >= 2 * 2 + 2);
+    }
+
+    #[test]
+    fn random_programs_validate() {
+        for seed in 0..20 {
+            let params = RandomParams {
+                seed,
+                ..Default::default()
+            };
+            for p in random_racy(&params) {
+                assert!(!p.is_empty());
+            }
+            for p in random_drf(&params) {
+                assert!(!p.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # mcsim-workloads — programs that exercise the techniques
+//!
+//! * [`paper`] — the exact code segments of the paper: Figure 2's
+//!   producer (Example 1) and consumer (Example 2), and the Figure 5
+//!   segment with a second processor that invalidates `D` mid-flight.
+//! * [`litmus`] — classic consistency litmus tests (store buffering,
+//!   message passing, coherence, Dekker mutual exclusion) wired to the
+//!   SC oracle in `mcsim-core`.
+//! * [`generators`] — parameterized synthetic workloads: critical
+//!   sections, producer/consumer hand-offs, array sweeps, pointer
+//!   chases, hit/miss dependence chains (the §3.3 prefetch-limitation
+//!   pattern), and seeded random program generators (data-race-free and
+//!   racy) for property testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod litmus;
+pub mod paper;
+
+pub use litmus::Litmus;

@@ -1,0 +1,9 @@
+; Example 2 of the paper: a consumer reading inside a critical section,
+; with a dependent array access E[D].
+  tas     r1, [0x40], 0
+  bne.nt  r1, 0, @0
+  ld      r2, [0x1100]        ; read C (miss)
+  ld      r3, [0x1180]        ; read D
+  ld      r4, [0x2000+r3*8]   ; read E[D]
+  st.rel  [0x40], 0
+  halt

@@ -1,0 +1,8 @@
+; One stage of a producer/consumer hand-off: spin on a flag with acquire
+; loads, then read the record. Pair with producer.s on processor 0.
+spin:
+  ld.acq  r1, [0x2000]
+  bne.nt  r1, 1, spin
+  ld      r2, [0x1000]
+  ld      r3, [0x1080]
+  halt

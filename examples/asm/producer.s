@@ -1,0 +1,8 @@
+; Example 1 of the paper: a producer updating two locations inside a
+; critical section. lock L (miss); write A; write B; unlock L (hit).
+  tas     r1, [0x40], 0       ; lock L (acquire by default)
+  bne.nt  r1, 0, @0           ; spin, predicted to succeed
+  st      [0x1000], 1         ; write A
+  st      [0x1080], 2         ; write B
+  st.rel  [0x40], 0           ; unlock L
+  halt

@@ -1,0 +1,5 @@
+; Producer half of the hand-off: fill the record, then release the flag.
+  st      [0x1000], 11
+  st      [0x1080], 22
+  st.rel  [0x2000], 1
+  halt

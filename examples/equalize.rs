@@ -1,0 +1,60 @@
+//! The equalization experiment as a runnable demo: sweep the model ×
+//! technique matrix over a critical-section workload and watch the gap
+//! between SC and RC collapse (§5: "the performance of different
+//! consistency models is equalized once these techniques are employed").
+//!
+//! ```sh
+//! cargo run --example equalize
+//! ```
+
+use mcsim::sim::MachineConfig;
+use mcsim_consistency::Model;
+use mcsim_core::{format_table, model_spread, run_matrix};
+use mcsim_proc::Techniques;
+use mcsim_workloads::generators::{critical_sections, CriticalSections};
+
+fn main() {
+    for (label, private) in [
+        (
+            "latency-dominated (private regions — the paper's setting)",
+            true,
+        ),
+        (
+            "sharing-dominated (regions rotate across processors)",
+            false,
+        ),
+    ] {
+        let params = CriticalSections {
+            procs: 2,
+            sections: 6,
+            reads: 4,
+            writes: 4,
+            locks: 2,
+            lines_per_region: 16,
+            think: 0,
+            private_regions: private,
+            seed: 42,
+        };
+        let rows = run_matrix(
+            &MachineConfig::paper(),
+            &Model::ALL,
+            &Techniques::ALL,
+            || critical_sections(&params),
+            |_| {},
+        );
+        println!("{}", format_table(label, &rows));
+        for t in Techniques::ALL {
+            let spread = model_spread(&rows, t) * 100.0;
+            let bar = "#".repeat((spread / 2.0).round() as usize);
+            println!(
+                "spread across models, {:<8}: {:>5.1}% {bar}",
+                t.label(),
+                spread
+            );
+        }
+        println!();
+    }
+    println!("in the latency-dominated case the `pf+spec` column equalizes the");
+    println!("models — the paper's claim. Under heavy sharing the techniques still");
+    println!("speed every model up, but invalidation traffic keeps a residual gap.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a small shared-memory program, run it under a
+//! consistency model with the paper's two techniques, and inspect the
+//! result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig;
+use mcsim_consistency::Model;
+use mcsim_isa::reg::{R1, R2, R3};
+use mcsim_isa::AluOp;
+
+fn main() {
+    // A producer updating a record under a lock: the paper's central
+    // motif. The builder's `lock`/`unlock` expand to a test-and-set
+    // acquire RMW with a spin branch (predicted to succeed) and a release
+    // store.
+    let program = ProgramBuilder::new("quickstart")
+        .lock(0x40, R1)
+        .load(R2, 0x1000u64) // read the old record value
+        .alu(R3, AluOp::Add, R2, 7u64)
+        .store(0x1000u64, R3) // write it back
+        .store(0x1080u64, 1u64) // set a companion field
+        .unlock(0x40)
+        .halt()
+        .build()
+        .expect("valid program");
+
+    println!("program:\n{program}");
+
+    // Run the same program under the strictest model (SC), conventionally
+    // and with the paper's techniques, and under release consistency.
+    for (model, t) in [
+        (Model::Sc, Techniques::NONE),
+        (Model::Sc, Techniques::BOTH),
+        (Model::Rc, Techniques::NONE),
+        (Model::Rc, Techniques::BOTH),
+    ] {
+        let cfg = MachineConfig::paper_with(model, t);
+        let mut machine = Machine::new(cfg, vec![program.clone()]);
+        machine.write_memory(0x1000u64, 35);
+        let report = machine.run();
+        println!(
+            "{} / {:<8} -> {:>4} cycles | record = {}",
+            model,
+            t.label(),
+            report.cycles,
+            report.mem_word(0x1000),
+        );
+        assert_eq!(report.mem_word(0x1000), 42);
+    }
+
+    println!();
+    println!("note how SC+pf+spec reaches RC-class performance — the paper's point.");
+}

@@ -1,0 +1,264 @@
+//! The `mcsim` command-line runner: assemble one or more `.s` files (one
+//! per processor) and simulate them under a chosen consistency model and
+//! technique combination.
+//!
+//! ```sh
+//! mcsim run examples/asm/producer.s examples/asm/consumer.s \
+//!     --model SC --techniques both --trace
+//! mcsim matrix examples/asm/producer.s     # full model x technique table
+//! mcsim asm examples/asm/producer.s        # assemble + disassemble check
+//! ```
+//!
+//! Argument parsing is hand-rolled (the project's dependency policy keeps
+//! the tree to the sanctioned crates); see `mcsim --help`.
+
+use mcsim::sim::{format_table, run_matrix, Machine, MachineConfig};
+use mcsim_consistency::Model;
+use mcsim_isa::asm;
+use mcsim_isa::Program;
+use mcsim_proc::Techniques;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+mcsim — cycle-accurate simulator for 'Two Techniques to Enhance the
+Performance of Memory Consistency Models' (ICPP 1991)
+
+USAGE:
+    mcsim run <program.s>... [OPTIONS]     simulate (one program per processor)
+    mcsim matrix <program.s>...            run the full model x technique matrix
+    mcsim asm <program.s>                  assemble and echo the program
+    mcsim models                           list supported consistency models
+
+OPTIONS (run):
+    --model <SC|PC|WC|RCsc|RC>    consistency model        [default: SC]
+    --techniques <base|prefetch|spec|both>                 [default: both]
+    --protocol <invalidate|update>                         [default: invalidate]
+    --miss <cycles>               clean-miss latency (even) [default: 100]
+    --rob <n>                     reorder-buffer entries    [default: 64]
+    --max-cycles <n>              watchdog                  [default: 2000000]
+    --mem <addr>=<value>          initial memory word (repeatable, hex ok)
+    --trace                       print the event trace
+    --timeline                    print a Gantt timeline of memory ops
+    --json                        print the full report as JSON
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mcsim: {msg}");
+    eprintln!("run `mcsim --help` for usage");
+    ExitCode::FAILURE
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn load_programs(paths: &[String]) -> Result<Vec<Program>, String> {
+    if paths.is_empty() {
+        return Err("no program files given".into());
+    }
+    paths
+        .iter()
+        .map(|p| {
+            let src = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let name = p.rsplit('/').next().unwrap_or(p).trim_end_matches(".s");
+            asm::assemble(name, &src).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+struct RunOpts {
+    files: Vec<String>,
+    cfg: MachineConfig,
+    mem_init: Vec<(u64, u64)>,
+    trace: bool,
+    timeline: bool,
+    json: bool,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut o = RunOpts {
+        files: Vec::new(),
+        cfg: MachineConfig::paper_with(Model::Sc, Techniques::BOTH),
+        mem_init: Vec::new(),
+        trace: false,
+        timeline: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => o.cfg.model = value("--model")?.parse::<Model>()?,
+            "--techniques" => {
+                o.cfg.techniques = match value("--techniques")?.as_str() {
+                    "base" | "none" => Techniques::NONE,
+                    "prefetch" | "pf" => Techniques::PREFETCH,
+                    "spec" | "speculation" => Techniques::SPECULATION,
+                    "both" | "pf+spec" => Techniques::BOTH,
+                    other => return Err(format!("unknown techniques `{other}`")),
+                }
+            }
+            "--protocol" => {
+                o.cfg.mem.protocol = match value("--protocol")?.as_str() {
+                    "invalidate" | "inv" => mcsim_mem::Protocol::Invalidate,
+                    "update" => mcsim_mem::Protocol::Update,
+                    other => return Err(format!("unknown protocol `{other}`")),
+                }
+            }
+            "--miss" => {
+                let m = parse_u64(&value("--miss")?).ok_or("bad --miss value")?;
+                o.cfg.mem.timings = mcsim_mem::MemTimings::with_miss_latency(m);
+            }
+            "--rob" => {
+                o.cfg.proc.rob_size =
+                    parse_u64(&value("--rob")?).ok_or("bad --rob value")? as usize;
+            }
+            "--max-cycles" => {
+                o.cfg.max_cycles = parse_u64(&value("--max-cycles")?).ok_or("bad --max-cycles")?;
+            }
+            "--mem" => {
+                let v = value("--mem")?;
+                let (a, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--mem expects addr=value, got `{v}`"))?;
+                o.mem_init.push((
+                    parse_u64(a).ok_or("bad --mem address")?,
+                    parse_u64(val).ok_or("bad --mem value")?,
+                ));
+            }
+            "--trace" => {
+                o.cfg.trace = true;
+                o.trace = true;
+            }
+            "--timeline" => {
+                o.cfg.trace = true;
+                o.timeline = true;
+            }
+            "--json" => o.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            file => o.files.push(file.to_string()),
+        }
+    }
+    o.cfg.proc.techniques = o.cfg.techniques;
+    Ok(o)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_run_opts(args)?;
+    let programs = load_programs(&o.files)?;
+    let mut m = Machine::new(o.cfg, programs);
+    for (a, v) in &o.mem_init {
+        m.write_memory(*a, *v);
+    }
+    let report = m.run();
+    if o.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if o.trace {
+        for (p, t) in report.traces.iter().enumerate() {
+            for e in t {
+                println!(
+                    "proc {p} cycle {:>6} [pc {:>3}] {:?}",
+                    e.cycle, e.pc, e.kind
+                );
+            }
+        }
+    }
+    if o.timeline {
+        print!("{}", mcsim::sim::render_timeline(&report.traces, 72));
+    }
+    println!(
+        "{} / {}: {}",
+        o.cfg.model,
+        o.cfg.techniques.label(),
+        report.summary()
+    );
+    for (p, rf) in report.regfiles.iter().enumerate() {
+        let regs: Vec<String> = rf
+            .iter()
+            .filter(|(_, v)| *v != 0)
+            .map(|(r, v)| format!("{r}={v:#x}"))
+            .collect();
+        println!("proc {p} registers: {}", regs.join(" "));
+    }
+    if report.timed_out {
+        return Err(format!("timed out after {} cycles", report.cycles));
+    }
+    Ok(())
+}
+
+fn cmd_matrix(args: &[String]) -> Result<(), String> {
+    let o = parse_run_opts(args)?;
+    let programs = load_programs(&o.files)?;
+    let mem_init = o.mem_init.clone();
+    let rows = run_matrix(
+        &o.cfg,
+        &Model::ALL_EXTENDED,
+        &Techniques::ALL,
+        || programs.clone(),
+        |m| {
+            for (a, v) in &mem_init {
+                m.write_memory(*a, *v);
+            }
+        },
+    );
+    println!(
+        "{}",
+        format_table("model x technique matrix (cycles)", &rows)
+    );
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let programs = load_programs(args)?;
+    for p in &programs {
+        println!("{p}");
+        println!("round-trip:\n{}", asm::disassemble(p));
+    }
+    Ok(())
+}
+
+fn cmd_models() {
+    for m in Model::ALL_EXTENDED {
+        println!("{:<5} {}", m.name(), m.description());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help" | "-h" | "help") => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some("models") => {
+            cmd_models();
+            ExitCode::SUCCESS
+        }
+        Some("run") => match cmd_run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("matrix") => match cmd_matrix(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("asm") => match cmd_asm(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some(other) => fail(&format!("unknown command `{other}`")),
+    }
+}

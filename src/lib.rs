@@ -1,0 +1,48 @@
+//! # mcsim — prefetching and speculative loads for memory consistency models
+//!
+//! A cycle-accurate shared-memory multiprocessor simulator reproducing
+//! *Gharachorloo, Gupta & Hennessy, "Two Techniques to Enhance the
+//! Performance of Memory Consistency Models", ICPP 1991*.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`isa`] — the mini shared-memory ISA, program builder, assembler.
+//! * [`consistency`] — SC / PC / WC / RC delay-arc ordering rules.
+//! * [`mem`] — lockup-free caches, directory coherence, timing model.
+//! * [`proc`] — the out-of-order core: reorder buffer, store buffer,
+//!   speculative-load buffer, hardware prefetch unit.
+//! * [`sim`] — the multiprocessor machine, statistics, event traces, the
+//!   experiment harness and the SC oracle.
+//! * [`workloads`] — paper examples, litmus tests, and generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcsim::prelude::*;
+//!
+//! // Example 1 of the paper: a producer updating two locations inside a
+//! // critical section. Under conventional SC it takes 301 cycles; with
+//! // both techniques, 103.
+//! let program = mcsim::workloads::paper::example1();
+//! let cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
+//! let report = Machine::new(cfg, vec![program]).run();
+//! assert!(report.cycles < 301);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mcsim_consistency as consistency;
+pub use mcsim_core as sim;
+pub use mcsim_isa as isa;
+pub use mcsim_mem as mem;
+pub use mcsim_proc as proc;
+pub use mcsim_workloads as workloads;
+
+/// Convenience re-exports of the types most programs need.
+pub mod prelude {
+    pub use mcsim_consistency::{AccessClass, Model};
+    pub use mcsim_core::{Machine, MachineConfig, RunReport};
+    pub use mcsim_isa::{Program, ProgramBuilder};
+    pub use mcsim_proc::Techniques;
+}

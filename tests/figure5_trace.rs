@@ -1,0 +1,209 @@
+//! Figure 5 of the paper: the illustrative execution of
+//!
+//! ```text
+//! read A (miss)  write B (miss)  write C (miss)  read D (hit)  read E[D] (miss)
+//! ```
+//!
+//! under SC with speculative loads + prefetch for stores, where an
+//! invalidation for `D` arrives after its speculated value has been
+//! consumed. The paper walks nine events; this test asserts the
+//! machine-visible essence of that walk:
+//!
+//! 1. the loads issue speculatively and the stores are prefetched in
+//!    read-exclusive mode *before* any store is allowed to issue;
+//! 2. `read D` hits and its (speculative) value feeds `read E[D]`;
+//! 3. the invalidation for `D` triggers the detection mechanism; since
+//!    the value was consumed, `read D` and `read E[D]` are discarded and
+//!    refetched (events 5–6);
+//! 4. the reissued `read D` misses (the line was invalidated), returns
+//!    the *new* value, and `read E[D]` is re-executed with it (event 7);
+//! 5. the stores complete via their prefetched ownership (events 2, 4,
+//!    8), and the final architectural state reflects the post-
+//!    invalidation values (event 9).
+
+use mcsim::prelude::*;
+use mcsim::proc::core::{EventKind, IssueOutcome};
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::workloads::paper;
+use mcsim_consistency::Model;
+use mcsim_isa::reg::{R1, R3, R4};
+
+const NEW_D: u64 = 5;
+
+fn run_figure5(delay: u32) -> mcsim::sim::RunReport {
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.trace = true;
+    let mut m = Machine::new(
+        cfg,
+        vec![
+            paper::figure5_main(),
+            paper::figure5_antagonist(delay, NEW_D),
+        ],
+    );
+    paper::setup_figure5(&mut m, NEW_D);
+    let report = m.run();
+    assert!(!report.timed_out);
+    report
+}
+
+#[test]
+fn figure5_event_sequence() {
+    let report = run_figure5(50);
+    let trace = &report.traces[0];
+
+    // -- Event 1: reads issued speculatively, writes prefetched. --
+    let load_a = trace
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::A))
+        .expect("read A issued");
+    assert!(matches!(
+        load_a.kind,
+        EventKind::LoadIssued {
+            outcome: IssueOutcome::Miss,
+            speculative: true,
+            ..
+        }
+    ));
+    let pf_b = trace
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::PrefetchIssued { addr, exclusive: true } if addr.0 == paper::B))
+        .expect("write B prefetched read-exclusive");
+    let pf_c = trace
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::PrefetchIssued { addr, exclusive: true } if addr.0 == paper::C))
+        .expect("write C prefetched read-exclusive");
+    let load_d_first = trace
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::D))
+        .expect("read D issued");
+    assert!(
+        matches!(
+            load_d_first.kind,
+            EventKind::LoadIssued {
+                outcome: IssueOutcome::Hit,
+                speculative: true,
+                ..
+            }
+        ),
+        "read D initially hits in the cache"
+    );
+    // The speculative E[D] uses the OLD value of D.
+    let old_e = paper::E_BASE + paper::D_VALUE * 8;
+    trace
+        .iter()
+        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, speculative: true, .. } if addr.0 == old_e))
+        .expect("read E[D] issued speculatively with the speculated index");
+
+    // Stores must not issue before their prefetches went out.
+    let first_store = trace
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::StoreIssued { .. }))
+        .expect("stores eventually issue");
+    assert!(
+        pf_b.cycle < first_store.cycle,
+        "prefetch B precedes store issue"
+    );
+    assert!(
+        pf_c.cycle < first_store.cycle,
+        "prefetch C precedes store issue"
+    );
+
+    // -- Events 5-6: the invalidation rolls back D and E[D]. --
+    let rollback = trace
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Rollback { .. }))
+        .expect("invalidation for D triggers a rollback");
+    let EventKind::Rollback { squashed, .. } = rollback.kind else {
+        unreachable!()
+    };
+    // read D, read E[D], and everything fetched after them (here: the
+    // halt) are discarded; the paper's figure shows the same two loads
+    // leaving the reorder buffer.
+    assert!(squashed >= 2, "at least read D and read E[D] are discarded");
+    assert!(rollback.cycle > load_d_first.cycle);
+
+    // -- Event 6-7: D reissued, now a miss; E[D] re-executed with the
+    //    new value. --
+    let load_d_again = trace
+        .iter()
+        .find(|e| {
+            e.cycle > rollback.cycle
+                && matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::D)
+        })
+        .expect("read D reissued after the rollback");
+    assert!(
+        matches!(
+            load_d_again.kind,
+            EventKind::LoadIssued {
+                outcome: IssueOutcome::Miss,
+                ..
+            }
+        ),
+        "the reissued read D misses (its line was invalidated)"
+    );
+    let new_e = paper::E_BASE + NEW_D * 8;
+    trace
+        .iter()
+        .find(|e| {
+            e.cycle > rollback.cycle
+                && matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == new_e)
+        })
+        .expect("read E[D] re-executed with the new index");
+
+    // -- Events 2/4/8: both stores complete via prefetched ownership
+    //    (hit or merge, never a fresh miss). --
+    for (name, addr) in [("B", paper::B), ("C", paper::C)] {
+        let st = trace
+            .iter()
+            .find(|e| matches!(&e.kind, EventKind::StoreIssued { addr: a, .. } if a.0 == addr))
+            .unwrap_or_else(|| panic!("store {name} issued"));
+        assert!(
+            matches!(
+                st.kind,
+                EventKind::StoreIssued {
+                    outcome: IssueOutcome::Hit | IssueOutcome::Merged,
+                    ..
+                }
+            ),
+            "store {name} must use the prefetched line, got {:?}",
+            st.kind
+        );
+    }
+
+    // -- Event 9: final state. --
+    assert_eq!(report.reg(0, R1), 0xA0, "read A's value");
+    assert_eq!(report.reg(0, R3), NEW_D, "read D observes the new value");
+    assert_eq!(report.reg(0, R4), 0xE2, "read E[D] observes E[new D]");
+    assert_eq!(report.mem_word(paper::B), 1);
+    assert_eq!(report.mem_word(paper::C), 2);
+    assert_eq!(report.total.rollbacks, 1);
+}
+
+#[test]
+fn figure5_without_antagonist_never_rolls_back() {
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.trace = true;
+    let mut m = Machine::new(cfg, vec![paper::figure5_main()]);
+    m.write_memory(paper::D, paper::D_VALUE);
+    m.write_memory(paper::E_AT_D, 0xE1);
+    m.write_memory(paper::A, 0xA0);
+    m.preload_cache(0, paper::D, false);
+    let report = m.run();
+    assert!(!report.timed_out);
+    assert_eq!(report.total.rollbacks, 0);
+    assert_eq!(report.reg(0, R3), paper::D_VALUE);
+    assert_eq!(report.reg(0, R4), 0xE1);
+}
+
+#[test]
+fn figure5_rollback_rate_insensitive_to_injection_time() {
+    // Anywhere in the window between D's speculative consumption and its
+    // retirement, the invalidation must trigger exactly one rollback and
+    // still produce the correct final state.
+    for delay in [10u32, 30, 60, 90] {
+        let report = run_figure5(delay);
+        assert_eq!(report.total.rollbacks, 1, "delay={delay}");
+        assert_eq!(report.reg(0, R3), NEW_D, "delay={delay}");
+        assert_eq!(report.reg(0, R4), 0xE2, "delay={delay}");
+    }
+}

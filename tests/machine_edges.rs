@@ -1,0 +1,160 @@
+//! Edge-of-the-envelope machine tests: configurations and interactions
+//! that no single module test covers.
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::workloads::paper;
+use mcsim_consistency::Model;
+use mcsim_isa::reg::{R1, R2, R3};
+use mcsim_isa::AluOp;
+
+#[test]
+fn rcsc_runs_the_paper_examples_between_wc_and_rcpc() {
+    // RCsc must match RCpc on the paper's single-sync-pair examples (the
+    // extra release->acquire arc never fires with one lock section).
+    let cfg = Cfg::paper_with(Model::RcSc, Techniques::NONE);
+    let r = Machine::new(cfg, vec![paper::example1()]).run();
+    assert_eq!(r.cycles, 202);
+    let cfg = Cfg::paper_with(Model::RcSc, Techniques::PREFETCH);
+    let r = Machine::new(cfg, vec![paper::example1()]).run();
+    assert_eq!(r.cycles, 103);
+    // The distinguishing arc is release -> acquire *load* (an acquire
+    // RMW's write half is PC-ordered behind the release under both
+    // variants): RCpc overlaps the two misses (~101 cycles), RCsc
+    // serializes them (~201).
+    let rel_then_acq = ProgramBuilder::new("rel-acq")
+        .store_release(0x40u64, 0u64)
+        .load_acquire(R2, 0x2000u64)
+        .halt()
+        .build()
+        .unwrap();
+    let mk = |model| {
+        let mut m = Machine::new(
+            Cfg::paper_with(model, Techniques::NONE),
+            vec![rel_then_acq.clone()],
+        );
+        m.write_memory(0x2000u64, 1);
+        m.run()
+    };
+    let rcsc = mk(Model::RcSc);
+    let rcpc = mk(Model::Rc);
+    assert!(rcpc.cycles <= 105, "RCpc overlaps: {}", rcpc.cycles);
+    assert!(
+        rcsc.cycles >= 200,
+        "RCsc serializes release->acquire: {}",
+        rcsc.cycles
+    );
+}
+
+#[test]
+fn sixteen_processors_run_disjoint_work() {
+    let programs: Vec<_> = (0..16)
+        .map(|i| {
+            ProgramBuilder::new(format!("p{i}"))
+                .store(0x10_000 + (i as u64) * 0x1000, i as u64 + 1)
+                .load(R2, 0x10_000 + (i as u64) * 0x1000)
+                .halt()
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let r = Machine::new(Cfg::paper_with(Model::Sc, Techniques::BOTH), programs).run();
+    assert!(!r.timed_out);
+    for i in 0..16u64 {
+        assert_eq!(r.mem_word(0x10_000 + i * 0x1000), i + 1);
+        assert_eq!(r.regfiles[i as usize].read(R2), i + 1);
+    }
+    // Disjoint lines pipeline through the directory: far faster than
+    // 16 serialized round trips.
+    assert!(r.cycles < 16 * 100, "pipelined: {}", r.cycles);
+}
+
+#[test]
+fn deep_alu_dependence_chain_commits_in_order() {
+    let mut b = ProgramBuilder::new("chain");
+    for _ in 0..40 {
+        b = b.alu(R3, AluOp::Add, R3, 1u64);
+    }
+    let prog = b.store(0x1000u64, R3).halt().build().unwrap();
+    for t in [Techniques::NONE, Techniques::BOTH] {
+        let r = Machine::new(Cfg::paper_with(Model::Sc, t), vec![prog.clone()]).run();
+        assert_eq!(r.mem_word(0x1000), 40, "{t}");
+        assert!(r.cycles >= 40, "{t}: 40 dependent unit-latency ALUs");
+    }
+}
+
+#[test]
+fn tiny_caches_force_replacement_traffic_but_stay_correct() {
+    // A 2-line cache walking 8 lines twice: heavy replacement, every
+    // value still correct under speculation (replacement hazards fire).
+    let mut b = ProgramBuilder::new("thrash");
+    for pass in 0..2u64 {
+        for i in 0..8u64 {
+            b = b.store(0x10_000 + i * 64, pass * 100 + i);
+        }
+    }
+    let prog = b.halt().build().unwrap();
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.mem.cache.sets = 1;
+    cfg.mem.cache.ways = 2;
+    let r = Machine::new(cfg, vec![prog]).run();
+    assert!(!r.timed_out);
+    for i in 0..8u64 {
+        assert_eq!(r.mem_word(0x10_000 + i * 64), 100 + i);
+    }
+    assert!(r.mem.replacements > 0, "thrashing must evict");
+    assert!(r.mem.writebacks > 0, "dirty lines must write back");
+}
+
+#[test]
+fn mshr_starvation_resolves() {
+    // One MSHR: every parallel technique degrades to serial issue, but
+    // everything still completes correctly.
+    let mut b = ProgramBuilder::new("narrow");
+    for i in 0..6u64 {
+        b = b.store(0x10_000 + i * 64, i + 1);
+    }
+    let prog = b.halt().build().unwrap();
+    let mut cfg = Cfg::paper_with(Model::Rc, Techniques::BOTH);
+    cfg.mem.mshrs = 1;
+    let r = Machine::new(cfg, vec![prog]).run();
+    assert!(!r.timed_out);
+    for i in 0..6u64 {
+        assert_eq!(r.mem_word(0x10_000 + i * 64), i + 1);
+    }
+    assert!(
+        r.cycles >= 600,
+        "one MSHR serializes the six misses: {}",
+        r.cycles
+    );
+}
+
+#[test]
+fn wider_directory_bandwidth_helps_contended_startup() {
+    // Many processors missing simultaneously: a 4-ported directory
+    // services the burst faster than a single-ported one.
+    let programs = |n: usize| -> Vec<_> {
+        (0..n)
+            .map(|i| {
+                ProgramBuilder::new(format!("p{i}"))
+                    .load(R1, 0x10_000 + (i as u64) * 0x1000)
+                    .halt()
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    };
+    let mut narrow = Cfg::paper_with(Model::Sc, Techniques::NONE);
+    narrow.mem.dir_bandwidth = 1;
+    let mut wide = narrow;
+    wide.mem.dir_bandwidth = 4;
+    let n = Machine::new(narrow, programs(12)).run();
+    let w = Machine::new(wide, programs(12)).run();
+    assert!(
+        w.cycles <= n.cycles,
+        "wider directory cannot be slower: {} vs {}",
+        w.cycles,
+        n.cycles
+    );
+    assert!(w.mem.dir_queue_cycles < n.mem.dir_queue_cycles);
+}

@@ -1,0 +1,118 @@
+//! The paper's §3.3 / §4.1 cycle counts, reproduced exactly.
+//!
+//! Figure 2's two code segments are walked through by the paper with
+//! precise cycle totals under the calibration "cache hit latency of 1
+//! cycle and cache miss latency of 100 cycles" and a memory system that
+//! accepts one access per cycle. This test pins every number:
+//!
+//! | workload  | SC base | RC base | SC+pf | RC+pf | SC+spec | RC+spec |
+//! |-----------|---------|---------|-------|-------|---------|---------|
+//! | Example 1 | 301     | 202     | 103   | 103   | —       | —       |
+//! | Example 2 | 302     | 203     | 203   | 202   | 104     | 104     |
+//!
+//! (The §4.1 speculative numbers combine speculative loads with prefetch
+//! for stores, as §4.3 prescribes.)
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::workloads::paper;
+use mcsim_consistency::Model;
+
+fn run_example1(model: Model, t: Techniques) -> u64 {
+    let cfg = Cfg::paper_with(model, t);
+    let m = Machine::new(cfg, vec![paper::example1()]);
+    let report = m.run();
+    assert!(!report.timed_out);
+    report.cycles
+}
+
+fn run_example2(model: Model, t: Techniques) -> u64 {
+    let cfg = Cfg::paper_with(model, t);
+    let mut m = Machine::new(cfg, vec![paper::example2()]);
+    paper::setup_example2(&mut m);
+    let report = m.run();
+    assert!(!report.timed_out);
+    // The dependent load must observe the right element of E.
+    assert_eq!(report.reg(0, mcsim_isa::reg::R4), 0xE1, "{model}/{t}");
+    report.cycles
+}
+
+#[test]
+fn example1_sc_conventional_takes_301_cycles() {
+    assert_eq!(run_example1(Model::Sc, Techniques::NONE), 301);
+}
+
+#[test]
+fn example1_rc_conventional_takes_202_cycles() {
+    assert_eq!(run_example1(Model::Rc, Techniques::NONE), 202);
+}
+
+#[test]
+fn example1_prefetch_takes_103_cycles_under_both_models() {
+    assert_eq!(run_example1(Model::Sc, Techniques::PREFETCH), 103);
+    assert_eq!(run_example1(Model::Rc, Techniques::PREFETCH), 103);
+}
+
+#[test]
+fn example2_sc_conventional_takes_302_cycles() {
+    assert_eq!(run_example2(Model::Sc, Techniques::NONE), 302);
+}
+
+#[test]
+fn example2_rc_conventional_takes_203_cycles() {
+    assert_eq!(run_example2(Model::Rc, Techniques::NONE), 203);
+}
+
+#[test]
+fn example2_prefetch_only_leaves_dependent_load_exposed() {
+    // §3.3: prefetching cannot consume the hit value of D out of order,
+    // so SC only reaches 203 and RC 202.
+    assert_eq!(run_example2(Model::Sc, Techniques::PREFETCH), 203);
+    assert_eq!(run_example2(Model::Rc, Techniques::PREFETCH), 202);
+}
+
+#[test]
+fn example2_speculation_takes_104_cycles_under_both_models() {
+    // §4.1: "both SC and RC complete the accesses in 104 cycles."
+    assert_eq!(run_example2(Model::Sc, Techniques::BOTH), 104);
+    assert_eq!(run_example2(Model::Rc, Techniques::BOTH), 104);
+}
+
+#[test]
+fn example1_techniques_equalize_sc_and_rc() {
+    // The headline claim: with the techniques on, the model choice stops
+    // mattering.
+    let sc = run_example1(Model::Sc, Techniques::BOTH);
+    let rc = run_example1(Model::Rc, Techniques::BOTH);
+    assert_eq!(sc, rc);
+    assert!(sc <= 103);
+}
+
+#[test]
+fn intermediate_models_fall_between_sc_and_rc() {
+    // PC and WC (Figure 1's middle of the spectrum) must land between
+    // the extremes on the producer example, and equalize with the
+    // techniques on.
+    let sc = run_example1(Model::Sc, Techniques::NONE);
+    let pc = run_example1(Model::Pc, Techniques::NONE);
+    let wc = run_example1(Model::Wc, Techniques::NONE);
+    let rc = run_example1(Model::Rc, Techniques::NONE);
+    assert!(rc <= wc && wc <= sc, "rc={rc} wc={wc} sc={sc}");
+    assert!(rc <= pc && pc <= sc, "rc={rc} pc={pc} sc={sc}");
+    for model in [Model::Pc, Model::Wc] {
+        assert_eq!(run_example1(model, Techniques::PREFETCH), 103, "{model}");
+    }
+}
+
+#[test]
+fn final_memory_state_is_identical_across_all_configurations() {
+    for model in Model::ALL {
+        for t in Techniques::ALL {
+            let cfg = Cfg::paper_with(model, t);
+            let report = Machine::new(cfg, vec![paper::example1()]).run();
+            assert_eq!(report.mem_word(paper::A), 1, "{model}/{t}");
+            assert_eq!(report.mem_word(paper::B), 2, "{model}/{t}");
+            assert_eq!(report.mem_word(paper::LOCK), 0, "{model}/{t}");
+        }
+    }
+}

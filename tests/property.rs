@@ -1,0 +1,107 @@
+//! Property-based tests over randomly generated programs.
+//!
+//! Three invariants, each quantified over generator seeds:
+//!
+//! 1. **SC safety** — any racy program simulated under SC (with any
+//!    technique combination) ends in a state the interleaving oracle
+//!    deems sequentially consistent.
+//! 2. **DRF portability** — any lock-protected program ends in an
+//!    SC state under *every* model.
+//! 3. **Technique transparency** — for single-processor programs, the
+//!    techniques never change the architectural result, only the cycle
+//!    count; and the cycle count never gets worse than conventional on
+//!    uncontended workloads.
+
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::workloads::generators::{self, RandomParams};
+use mcsim::workloads::litmus::Litmus;
+use mcsim_consistency::Model;
+use mcsim_core::{oracle, Machine};
+use mcsim_proc::Techniques;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn racy_programs_are_sc_under_sc(seed in 0u64..10_000) {
+        let params = RandomParams { procs: 2, ops: 4, addrs: 3, seed };
+        let l = Litmus {
+            name: "prop-racy",
+            programs: generators::random_racy(&params),
+            init: BTreeMap::new(),
+        };
+        for t in [Techniques::NONE, Techniques::SPECULATION, Techniques::BOTH] {
+            let report = l.run(Cfg::paper_with(Model::Sc, t));
+            prop_assert!(!report.timed_out);
+            prop_assert!(
+                l.is_sequentially_consistent(&report),
+                "seed {} under SC/{} left a non-SC state", seed, t.label()
+            );
+        }
+    }
+
+    #[test]
+    fn drf_programs_are_sc_under_every_model(seed in 0u64..10_000) {
+        let params = RandomParams { procs: 2, ops: 3, addrs: 2, seed };
+        let l = Litmus {
+            name: "prop-drf",
+            programs: generators::random_drf(&params),
+            init: BTreeMap::new(),
+        };
+        for model in Model::ALL {
+            let report = l.run(Cfg::paper_with(model, Techniques::BOTH));
+            prop_assert!(!report.timed_out);
+            prop_assert!(
+                l.is_sequentially_consistent(&report),
+                "seed {} under {}/pf+spec left a non-SC state", seed, model
+            );
+        }
+    }
+
+    #[test]
+    fn techniques_preserve_single_processor_semantics(seed in 0u64..10_000) {
+        // One processor, no contention: the sequential oracle gives the
+        // unique correct outcome; every model/technique combination must
+        // produce exactly it, and the techniques must never slow the
+        // program down.
+        let params = RandomParams { procs: 1, ops: 8, addrs: 4, seed };
+        let programs = generators::random_racy(&params);
+        let expected = oracle::run_sequential(&programs[0], &BTreeMap::new());
+        let mut base_cycles = None;
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                let cfg = Cfg::paper_with(model, t);
+                let report = Machine::new(cfg, programs.clone()).run();
+                prop_assert!(!report.timed_out);
+                let regs: Vec<u64> = report.regfiles[0].iter().map(|(_, v)| v).collect();
+                prop_assert_eq!(
+                    &regs, &expected.regs[0],
+                    "seed {} {}/{}: registers diverged", seed, model, t.label()
+                );
+                for (&a, &v) in &expected.memory {
+                    prop_assert_eq!(
+                        report.mem_word(a), v,
+                        "seed {} {}/{}: memory {:#x} diverged", seed, model, t.label(), a
+                    );
+                }
+                if model == Model::Sc {
+                    match t {
+                        Techniques::NONE => base_cycles = Some(report.cycles),
+                        Techniques::BOTH => {
+                            prop_assert!(
+                                report.cycles <= base_cycles.expect("NONE ran first"),
+                                "seed {}: techniques slowed an uncontended program", seed
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Appendix A regression: a coherence hazard matching an RMW whose atomic
+//! has already performed must discard only the computation *after* it —
+//! re-executing a non-idempotent atomic (fetch-and-add) would double-
+//! apply it.
+//!
+//! The scenario engineers the narrow window: the victim's fetch-add hits
+//! locally (its line was pre-owned) the cycle its blocking loads drain,
+//! and the attacker's write to the same line lands one cycle after the
+//! atomic applied — while the RMW's spec-buffer entry is still resident
+//! behind an older load.
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim_consistency::Model;
+use mcsim_isa::reg::{R1, R2, R3, R5};
+use mcsim_isa::{AluOp, MemFlavor, Program, RmwKind};
+
+const A: u64 = 0x5000;
+const B: u64 = 0x5100;
+const COUNTER: u64 = 0x6000;
+
+fn victim() -> Program {
+    ProgramBuilder::new("victim")
+        .load(R1, A) // miss — keeps the spec buffer FIFO occupied
+        .load(R2, B) // miss
+        .rmw(R3, COUNTER, RmwKind::FetchAdd, 1u64, MemFlavor::Acquire)
+        .halt()
+        .build()
+        .unwrap()
+}
+
+/// Attacker whose store to the counter line lands at a configurable
+/// cycle (three dependent unit-latency ALUs ≈ issue at `chain`).
+fn attacker(chain: usize) -> Program {
+    let mut b = ProgramBuilder::new("attacker");
+    for _ in 0..chain {
+        b = b.alu(R5, AluOp::Add, R5, 1u64);
+    }
+    b.store(COUNTER + 8, 1u64) // same line, different word (false sharing)
+        .halt()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn performed_rmw_never_double_applies() {
+    // Sweep the attacker's timing across the sensitive window; whatever
+    // the interleaving, the fetch-add must apply exactly once.
+    for chain in 0..8 {
+        let cfg = Cfg::paper_with(Model::Sc, Techniques::SPECULATION);
+        let mut m = Machine::new(cfg, vec![victim(), attacker(chain)]);
+        m.write_memory(COUNTER, 10);
+        m.preload_cache(0, COUNTER, true); // victim owns the counter line
+        let report = m.run();
+        assert!(!report.timed_out, "chain={chain}");
+        assert_eq!(
+            report.mem_word(COUNTER),
+            11,
+            "chain={chain}: fetch-add applied other than exactly once \
+             (rollbacks={}, reissues={})",
+            report.total.rollbacks,
+            report.total.reissues,
+        );
+        assert_eq!(report.reg(0, R3), 10, "chain={chain}: old value returned");
+    }
+}
+
+#[test]
+fn performed_rmw_behind_forwarded_load_takes_partial_rollback() {
+    // The reachable double-apply window: under RC a store retires from
+    // the ROB at address translation, so a *forwarded* load (immune to
+    // hazards, ROB-retired early) can sit unretired at the spec-buffer
+    // head for the store's full 198-cycle remote latency while the RMW
+    // behind it issues, performs, and stays matchable (non-head, so
+    // footnote 4 does not protect it). A false-sharing invalidation then
+    // matches the performed RMW: Appendix A demands only the tail be
+    // discarded — re-executing the atomic would double-apply it.
+    const SLOW: u64 = 0x7000;
+    // The load is an *acquire* forwarded from the store: its spec entry
+    // has acq set and only becomes done when the store performs (cycle
+    // ~198), pinning it — immune but unretirable — at the buffer head.
+    let victim = ProgramBuilder::new("victim-rc")
+        .store(SLOW, 5u64) // remote sharer => 198-cycle store
+        .load_acquire(R1, SLOW) // forwarded; pinned until the store performs
+        .rmw(R3, COUNTER, RmwKind::FetchAdd, 1u64, MemFlavor::Ordinary)
+        .halt()
+        .build()
+        .unwrap();
+    let attack = {
+        let mut b = ProgramBuilder::new("attacker-rc");
+        b = b.alu_lat(R5, AluOp::Add, 0u64, 0u64, 20);
+        b.store(COUNTER + 8, R5).halt().build().unwrap()
+    };
+    for model in [Model::Wc, Model::Rc] {
+        let cfg = Cfg::paper_with(model, Techniques::SPECULATION);
+        let mut m = Machine::new(
+            cfg,
+            vec![victim.clone(), attack.clone(), mcsim_isa::Program::idle()],
+        );
+        m.write_memory(COUNTER, 10);
+        m.write_memory(SLOW, 0);
+        m.preload_cache(0, COUNTER, true); // victim owns the counter line
+        m.preload_cache(2, SLOW, false); // remote sharer slows the store
+        let report = m.run();
+        assert!(!report.timed_out, "{model}");
+        assert_eq!(
+            report.mem_word(COUNTER),
+            11,
+            "{model}: fetch-add applied other than exactly once \
+             (rollbacks={})",
+            report.total.rollbacks,
+        );
+        assert_eq!(report.reg(0, R3), 10, "{model}: old value returned once");
+        assert_eq!(report.reg(0, R1), 5, "{model}: forwarded load value");
+    }
+}

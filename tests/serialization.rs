@@ -1,0 +1,60 @@
+//! Reports and configurations are part of the public API surface (the
+//! CLI's `--json`, experiment archiving); pin that they serialize and
+//! round-trip.
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::workloads::paper;
+use mcsim_consistency::Model;
+
+#[test]
+fn run_report_roundtrips_through_json() {
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.trace = true;
+    let mut m = Machine::new(cfg, vec![paper::example2()]);
+    paper::setup_example2(&mut m);
+    let report = m.run();
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: mcsim::sim::RunReport = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.cycles, report.cycles);
+    assert_eq!(back.total.speculative_loads, report.total.speculative_loads);
+    assert_eq!(back.memory, report.memory);
+    assert_eq!(back.traces[0].len(), report.traces[0].len());
+    assert_eq!(
+        back.regfiles[0].read(mcsim_isa::reg::R4),
+        report.regfiles[0].read(mcsim_isa::reg::R4)
+    );
+}
+
+#[test]
+fn machine_config_roundtrips_through_json() {
+    let mut cfg = Cfg::paper_with(Model::RcSc, Techniques::PREFETCH);
+    cfg.mem.protocol = mcsim_mem::Protocol::Update;
+    cfg.proc.rob_size = 17;
+    cfg.proc.exact_update_check = true;
+    let json = serde_json::to_string(&cfg).expect("serializes");
+    let back: Cfg = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, cfg);
+}
+
+#[test]
+fn programs_roundtrip_through_json() {
+    let p = paper::example2();
+    let json = serde_json::to_string(&p).expect("serializes");
+    let back: mcsim_isa::Program = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.instrs(), p.instrs());
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // Two identical machines produce byte-identical reports — the whole
+    // simulator is deterministic (no ambient randomness or clocks).
+    let run = || {
+        let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+        cfg.trace = true;
+        let mut m = Machine::new(cfg, vec![paper::example2()]);
+        paper::setup_example2(&mut m);
+        serde_json::to_string(&m.run()).unwrap()
+    };
+    assert_eq!(run(), run());
+}
