@@ -1,0 +1,39 @@
+//! Criterion bench of the sweep engine itself: the full E6 equalization
+//! grid (48 points) executed end to end at 1, 2 and 4 workers. On a
+//! multicore host the wall time should drop near-linearly with workers
+//! while the produced rows stay bit-identical; on a single core the
+//! worker counts should tie, bounding the engine's threading overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcsim_sweep::builtin::e6_equalization;
+use mcsim_sweep::{run_sweep, ExecOptions};
+
+fn bench_e6_grid(c: &mut Criterion) {
+    let spec = e6_equalization();
+    let mut g = c.benchmark_group("sweep_e6");
+    g.throughput(Throughput::Elements(spec.len() as u64));
+    for jobs in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let run = run_sweep(
+                    &spec,
+                    &ExecOptions {
+                        jobs,
+                        progress: false,
+                    },
+                )
+                .expect("built-in spec is valid");
+                assert!(run.result.failures().is_empty());
+                run.result.rows.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e6_grid
+}
+criterion_main!(benches);

@@ -1,57 +1,36 @@
 //! E6 — the §5 equalization claim on synthetic critical-section
 //! workloads: with both techniques on, the performance of all four
 //! consistency models converges.
+//!
+//! Runs the `e6-equalization` built-in sweep; `--jobs N` fans the grid
+//! across worker threads (rows are bit-identical to a serial run).
 
-use mcsim_bench::{base_config, markdown_table};
-use mcsim_consistency::Model;
-use mcsim_core::{format_table, model_spread, run_matrix};
+use mcsim_bench::jobs_from_args;
 use mcsim_proc::Techniques;
-use mcsim_workloads::generators::{critical_sections, CriticalSections};
+use mcsim_sweep::builtin::e6_equalization;
+use mcsim_sweep::{
+    format_table, markdown_table, model_spread, run_sweep, ExecOptions, PointRecord,
+};
 
 fn main() {
-    for (label, params) in [
-        (
-            "uncontended (2 procs, private locks)",
-            CriticalSections {
-                procs: 2,
-                locks: 2,
-                sections: 4,
-                reads: 3,
-                writes: 3,
-                ..Default::default()
-            },
-        ),
-        (
-            "contended (4 procs, one lock)",
-            CriticalSections {
-                procs: 4,
-                locks: 1,
-                sections: 3,
-                reads: 2,
-                writes: 2,
-                ..Default::default()
-            },
-        ),
-        (
-            "mixed (4 procs, 2 locks, think time)",
-            CriticalSections {
-                procs: 4,
-                locks: 2,
-                sections: 3,
-                reads: 3,
-                writes: 2,
-                think: 40,
-                ..Default::default()
-            },
-        ),
-    ] {
-        let rows = run_matrix(
-            &base_config(),
-            &Model::ALL,
-            &Techniques::ALL,
-            || critical_sections(&params),
-            |_| {},
-        );
+    let spec = e6_equalization();
+    let run = run_sweep(
+        &spec,
+        &ExecOptions {
+            jobs: jobs_from_args(),
+            progress: false,
+        },
+    )
+    .expect("built-in spec is valid");
+
+    for workload in &spec.workloads {
+        let label = workload.label();
+        let rows: Vec<&PointRecord> = run
+            .result
+            .rows
+            .iter()
+            .filter(|r| r.workload == label)
+            .collect();
         println!(
             "{}",
             format_table(&format!("critical sections — {label}"), &rows)

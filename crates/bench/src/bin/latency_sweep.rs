@@ -1,34 +1,39 @@
 //! E12 — miss-latency sensitivity: the techniques' benefit grows with
 //! the latency they hide (the paper's large-scale-machine motivation).
+//!
+//! Runs the `e12-latency` built-in sweep; `--jobs N` parallelizes it.
 
+use mcsim_bench::jobs_from_args;
 use mcsim_consistency::Model;
-use mcsim_core::{run_matrix, MachineConfig};
-use mcsim_mem::MemTimings;
 use mcsim_proc::Techniques;
-use mcsim_workloads::paper;
+use mcsim_sweep::builtin::e12_latency;
+use mcsim_sweep::{run_sweep, ExecOptions, PointRecord, SweepResult};
 
 fn main() {
+    let spec = e12_latency();
+    let run = run_sweep(
+        &spec,
+        &ExecOptions {
+            jobs: jobs_from_args(),
+            progress: false,
+        },
+    )
+    .expect("built-in spec is valid");
+
     println!("Example 2 consumer: cycles vs clean-miss latency\n");
     println!(
         "{:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "miss", "SC base", "SC both", "RC base", "RC both", "SC speedup"
     );
-    for miss in [20u64, 50, 100, 200, 400] {
-        let mut base = MachineConfig::paper();
-        base.mem.timings = MemTimings::with_miss_latency(miss);
-        let rows = run_matrix(
-            &base,
-            &[Model::Sc, Model::Rc],
-            &[Techniques::NONE, Techniques::BOTH],
-            || vec![paper::example2()],
-            paper::setup_example2,
-        );
-        let get = |m: Model, t: Techniques| {
-            rows.iter()
-                .find(|r| r.model == m && r.techniques == t)
-                .unwrap()
-                .cycles
-        };
+    for &miss in &spec.machine.miss_latency {
+        let rows: Vec<&PointRecord> = run
+            .result
+            .rows
+            .iter()
+            .filter(|r| r.miss_latency == miss)
+            .collect();
+        let get =
+            |m: Model, t: Techniques| SweepResult::cycles_of(&rows, m, t).expect("cell completed");
         let (sb, sx) = (
             get(Model::Sc, Techniques::NONE),
             get(Model::Sc, Techniques::BOTH),

@@ -3,40 +3,52 @@
 //! from all cores, so total time should stay roughly flat (each core's
 //! latency is hidden independently) — the large-scale-machine story of
 //! §1 — until directory bandwidth (1 transaction/cycle) saturates.
+//!
+//! Runs the `e17-scaling` built-in sweep; `--jobs N` parallelizes it.
 
+use mcsim_bench::jobs_from_args;
 use mcsim_consistency::Model;
-use mcsim_core::{Machine, MachineConfig};
 use mcsim_proc::Techniques;
-use mcsim_workloads::generators::{critical_sections, CriticalSections};
+use mcsim_sweep::builtin::e17_scaling;
+use mcsim_sweep::{run_sweep, ExecOptions, PointRecord};
 
 fn main() {
+    let spec = e17_scaling();
+    let run = run_sweep(
+        &spec,
+        &ExecOptions {
+            jobs: jobs_from_args(),
+            progress: false,
+        },
+    )
+    .expect("built-in spec is valid");
+
     println!("private critical sections, 4 sections x (3 loads + 3 stores) per proc\n");
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>12}",
         "procs", "SC base", "SC both", "RC base", "dir queue cyc"
     );
-    for procs in [1usize, 2, 4, 8, 12] {
-        let params = CriticalSections {
-            procs,
-            sections: 4,
-            reads: 3,
-            writes: 3,
-            locks: procs,
-            private_regions: true,
-            ..Default::default()
+    for workload in &spec.workloads {
+        let label = workload.label();
+        let rows: Vec<&PointRecord> = run
+            .result
+            .rows
+            .iter()
+            .filter(|r| r.workload == label)
+            .collect();
+        let find = |m: Model, t: Techniques| {
+            rows.iter()
+                .find(|r| r.model == m && r.techniques == t)
+                .and_then(|r| r.outcome.metrics())
+                .unwrap_or_else(|| panic!("{label} {m}/{t} failed"))
         };
-        let run = |model: Model, t: Techniques| {
-            let cfg = MachineConfig::paper_with(model, t);
-            let r = Machine::new(cfg, critical_sections(&params)).run();
-            assert!(!r.timed_out);
-            r
-        };
-        let sc_base = run(Model::Sc, Techniques::NONE);
-        let sc_both = run(Model::Sc, Techniques::BOTH);
-        let rc_base = run(Model::Rc, Techniques::NONE);
+        let sc_base = find(Model::Sc, Techniques::NONE);
+        let sc_both = find(Model::Sc, Techniques::BOTH);
+        let rc_base = find(Model::Rc, Techniques::NONE);
+        let procs = label.trim_end_matches(" procs");
         println!(
             "{:>6} {:>10} {:>10} {:>10} {:>12}",
-            procs, sc_base.cycles, sc_both.cycles, rc_base.cycles, sc_both.mem.dir_queue_cycles,
+            procs, sc_base.cycles, sc_both.cycles, rc_base.cycles, sc_both.dir_queue_cycles,
         );
     }
     println!("\nflat columns = perfect scaling (disjoint data, pipelined directory);");

@@ -1,53 +1,43 @@
 //! E7 — §5's "invalidations of speculated values are infrequent":
 //! rollback and reissue rates of the speculative-load buffer as lock
 //! contention and critical-section length grow.
+//!
+//! Runs the `e7-speculation` built-in sweep; `--jobs N` parallelizes it.
 
-use mcsim_consistency::Model;
-use mcsim_core::{Machine, MachineConfig};
-use mcsim_proc::Techniques;
-use mcsim_workloads::generators::{critical_sections, CriticalSections};
+use mcsim_bench::jobs_from_args;
+use mcsim_sweep::builtin::e7_speculation;
+use mcsim_sweep::{run_sweep, ExecOptions};
 
 fn main() {
+    let spec = e7_speculation();
+    let run = run_sweep(
+        &spec,
+        &ExecOptions {
+            jobs: jobs_from_args(),
+            progress: false,
+        },
+    )
+    .expect("built-in spec is valid");
+
     println!("speculation violations vs contention (SC, both techniques)\n");
     println!(
         "{:<38} {:>8} {:>10} {:>9} {:>9} {:>9}",
         "workload", "cycles", "specloads", "rollback", "reissue", "rate"
     );
-    for procs in [2usize, 4, 8] {
-        for locks in [procs, 1] {
-            for think in [0u32, 100] {
-                let params = CriticalSections {
-                    procs,
-                    locks,
-                    sections: 4,
-                    reads: 3,
-                    writes: 3,
-                    think,
-                    ..Default::default()
-                };
-                let cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
-                let m = Machine::new(cfg, critical_sections(&params));
-                let r = m.run();
-                assert!(!r.timed_out);
-                let label = format!(
-                    "{procs} procs / {} / think {think}",
-                    if locks == 1 {
-                        "1 lock (contended)".to_string()
-                    } else {
-                        format!("{locks} locks (private)")
-                    },
-                );
-                println!(
-                    "{:<38} {:>8} {:>10} {:>9} {:>9} {:>8.1}%",
-                    label,
-                    r.cycles,
-                    r.total.speculative_loads,
-                    r.total.rollbacks,
-                    r.total.reissues,
-                    r.total.rollback_rate() * 100.0
-                );
-            }
-        }
+    for row in &run.result.rows {
+        let m = row
+            .outcome
+            .metrics()
+            .unwrap_or_else(|| panic!("point {} failed: {:?}", row.index, row.outcome));
+        println!(
+            "{:<38} {:>8} {:>10} {:>9} {:>9} {:>8.1}%",
+            row.workload,
+            m.cycles,
+            m.speculative_loads,
+            m.rollbacks,
+            m.reissues,
+            m.rollback_rate() * 100.0
+        );
     }
     println!("\npaper's expectation: rates stay small because the window between a");
     println!("speculative load and its retirement rarely overlaps a remote write (§5).");

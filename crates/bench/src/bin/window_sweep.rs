@@ -1,25 +1,38 @@
 //! E13 — §3.2: "lookahead in the instruction stream is beneficial": the
 //! techniques only see accesses inside the reorder-buffer window, so
 //! shrinking it caps how much latency they can hide.
+//!
+//! Runs the `e13-window` built-in sweep; `--jobs N` parallelizes it.
 
-use mcsim_consistency::Model;
-use mcsim_core::{Machine, MachineConfig};
-use mcsim_proc::{ProcConfig, Techniques};
-use mcsim_workloads::generators::array_sweep;
+use mcsim_bench::jobs_from_args;
+use mcsim_sweep::builtin::e13_window;
+use mcsim_sweep::{run_sweep, ExecOptions, Window};
 
 fn main() {
+    let spec = e13_window();
+    let run = run_sweep(
+        &spec,
+        &ExecOptions {
+            jobs: jobs_from_args(),
+            progress: false,
+        },
+    )
+    .expect("built-in spec is valid");
+
     println!("16-line store sweep under SC with both techniques: cycles vs window\n");
     println!("{:>10} {:>12} {:>8}", "rob size", "fetch width", "cycles");
-    for (rob, width) in [(4usize, 1usize), (8, 2), (16, 4), (32, 4), (64, 8)] {
-        let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
-        cfg.proc = ProcConfig::with_window(Techniques::BOTH, rob, width);
-        let m = Machine::new(cfg, vec![array_sweep(16, true)]);
-        let r = m.run();
-        assert!(!r.timed_out);
-        println!("{:>10} {:>12} {:>8}", rob, width, r.cycles);
+    for row in &run.result.rows {
+        let cycles = row
+            .outcome
+            .cycles()
+            .unwrap_or_else(|| panic!("point {} failed: {:?}", row.index, row.outcome));
+        match row.window {
+            Window::Finite { rob, fetch } => {
+                println!("{rob:>10} {fetch:>12} {cycles:>8}");
+            }
+            Window::Ideal => {
+                println!("{:>10} {:>12} {cycles:>8}", "ideal", "ideal");
+            }
+        }
     }
-    let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::BOTH);
-    cfg.proc = ProcConfig::paper(Techniques::BOTH);
-    let r = Machine::new(cfg, vec![array_sweep(16, true)]).run();
-    println!("{:>10} {:>12} {:>8}", "ideal", "ideal", r.cycles);
 }

@@ -21,44 +21,31 @@
 //! Criterion benches (`benches/`) measure the *simulator's* throughput so
 //! regressions in the implementation itself are visible.
 
-use mcsim_consistency::Model;
 use mcsim_core::{MachineConfig, MatrixRow};
-use mcsim_proc::Techniques;
 
 /// Renders rows as a markdown table (used by the figure binaries so the
-/// output can be pasted into EXPERIMENTS.md verbatim).
+/// output can be pasted into EXPERIMENTS.md verbatim). Thin wrapper over
+/// the generalized renderer in `mcsim-sweep`, kept for the binaries that
+/// still drive `run_matrix` directly.
 #[must_use]
 pub fn markdown_table(rows: &[MatrixRow]) -> String {
-    use std::fmt::Write as _;
-    let mut techs: Vec<Techniques> = rows.iter().map(|r| r.techniques).collect();
-    techs.sort_by_key(|t| (t.prefetch, t.speculative_loads));
-    techs.dedup();
-    let mut models: Vec<Model> = rows.iter().map(|r| r.model).collect();
-    models.dedup();
+    mcsim_sweep::markdown_table(rows)
+}
 
-    let mut out = String::from("| model |");
-    for t in &techs {
-        let _ = write!(out, " {} |", t.label());
-    }
-    out.push('\n');
-    out.push_str("|---|");
-    for _ in &techs {
-        out.push_str("---|");
-    }
-    out.push('\n');
-    for m in models {
-        let _ = write!(out, "| {} |", m.name());
-        for t in &techs {
-            match rows.iter().find(|r| r.model == m && r.techniques == *t) {
-                Some(r) => {
-                    let _ = write!(out, " {} |", r.cycles);
-                }
-                None => out.push_str(" - |"),
+/// Worker-thread count from a `--jobs N` command-line argument
+/// (defaults to 1; experiment output is identical at any value).
+#[must_use]
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
             }
+            eprintln!("--jobs expects a number; using 1");
         }
-        out.push('\n');
     }
-    out
+    1
 }
 
 /// The standard paper-calibrated base configuration used by the figure
@@ -71,8 +58,10 @@ pub fn base_config() -> MachineConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcsim_consistency::Model;
     use mcsim_core::run_matrix;
     use mcsim_isa::ProgramBuilder;
+    use mcsim_proc::Techniques;
 
     #[test]
     fn markdown_table_shape() {

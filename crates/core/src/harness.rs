@@ -25,18 +25,45 @@ pub struct MatrixRow {
     pub report: RunReport,
 }
 
+/// A matrix cell whose run did not complete: the workload hit the
+/// configured cycle budget under one model/technique combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Consistency model of the failed cell.
+    pub model: Model,
+    /// Technique combination of the failed cell.
+    pub techniques: Techniques,
+    /// Cycle count at which the run was cut off.
+    pub cycles: u64,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workload timed out under {}/{} after {} cycles",
+            self.model, self.techniques, self.cycles
+        )
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
 /// Runs `workload` (programs + machine setup) for every model × technique
 /// combination, with `base` supplying all other configuration.
 ///
 /// `workload` is called once per combination so each run gets fresh
-/// programs; `setup` primes memory/caches on the built machine.
-pub fn run_matrix(
+/// programs; `setup` primes memory/caches on the built machine. Stops at
+/// the first cell whose run times out and reports it as an error, so
+/// callers (the sweep engine, CLIs) can record a failed cell instead of
+/// aborting the whole experiment.
+pub fn try_run_matrix(
     base: &MachineConfig,
     models: &[Model],
     techniques: &[Techniques],
     mut workload: impl FnMut() -> Vec<Program>,
     mut setup: impl FnMut(&mut Machine),
-) -> Vec<MatrixRow> {
+) -> Result<Vec<MatrixRow>, CellFailure> {
     let mut rows = Vec::with_capacity(models.len() * techniques.len());
     for &model in models {
         for &t in techniques {
@@ -47,11 +74,13 @@ pub fn run_matrix(
             let mut m = Machine::new(cfg, workload());
             setup(&mut m);
             let report = m.run();
-            assert!(
-                !report.timed_out,
-                "workload timed out under {model}/{t} after {} cycles",
-                report.cycles
-            );
+            if report.timed_out {
+                return Err(CellFailure {
+                    model,
+                    techniques: t,
+                    cycles: report.cycles,
+                });
+            }
             rows.push(MatrixRow {
                 model,
                 techniques: t,
@@ -60,7 +89,25 @@ pub fn run_matrix(
             });
         }
     }
-    rows
+    Ok(rows)
+}
+
+/// Infallible variant of [`try_run_matrix`] for callers that treat a
+/// timeout as a bug in the experiment definition.
+///
+/// # Panics
+/// If any cell times out.
+pub fn run_matrix(
+    base: &MachineConfig,
+    models: &[Model],
+    techniques: &[Techniques],
+    workload: impl FnMut() -> Vec<Program>,
+    setup: impl FnMut(&mut Machine),
+) -> Vec<MatrixRow> {
+    match try_run_matrix(base, models, techniques, workload, setup) {
+        Ok(rows) => rows,
+        Err(failure) => panic!("{failure}"),
+    }
 }
 
 /// Renders matrix rows as a fixed-width table: one row per model, one
@@ -187,6 +234,23 @@ mod tests {
             after < before,
             "techniques must narrow the model gap: {before:.3} -> {after:.3}"
         );
+    }
+
+    #[test]
+    fn try_run_matrix_reports_timeout_as_failed_cell() {
+        let mut cfg = MachineConfig::paper();
+        cfg.max_cycles = 3; // far below any real run
+        let err = try_run_matrix(
+            &cfg,
+            &[Model::Sc],
+            &[Techniques::NONE],
+            two_store_workload,
+            |_| {},
+        )
+        .expect_err("a 3-cycle budget must time out");
+        assert_eq!(err.model, Model::Sc);
+        assert_eq!(err.techniques, Techniques::NONE);
+        assert!(err.to_string().contains("timed out"));
     }
 
     #[test]

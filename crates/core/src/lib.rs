@@ -26,7 +26,7 @@ pub mod oracle;
 pub mod report;
 pub mod trace;
 
-pub use harness::{format_table, model_spread, run_matrix, MatrixRow};
+pub use harness::{format_table, model_spread, run_matrix, try_run_matrix, CellFailure, MatrixRow};
 pub use machine::{Machine, MachineConfig};
 pub use oracle::{sc_outcomes, OracleConfig, Outcome};
 pub use report::RunReport;

@@ -1,0 +1,179 @@
+//! `mcsim-sweep` — run a declarative experiment sweep.
+//!
+//! ```text
+//! mcsim-sweep --builtin e6-equalization --jobs 4 --json out.json
+//! mcsim-sweep --spec my-sweep.json --csv out.csv --quiet
+//! mcsim-sweep --list
+//! mcsim-sweep --builtin e12-latency --print-spec   # emit the spec JSON
+//! ```
+//!
+//! Exit status is non-zero on usage errors, unreadable/invalid specs, or
+//! I/O failures; individual failed grid points are *reported*, not fatal.
+
+use std::process::ExitCode;
+
+use mcsim_sweep::{builtin, render_groups, run_sweep, ExecOptions, SweepSpec, BUILTIN_NAMES};
+
+const USAGE: &str = "usage: mcsim-sweep [options]
+  --builtin NAME     run a named built-in sweep (see --list)
+  --spec FILE        run a SweepSpec from a JSON file
+  --list             list built-in sweeps and exit
+  --print-spec       print the selected spec as JSON and exit (no run)
+  --jobs N           worker threads (default 1)
+  --json FILE        write the result (spec + rows) as JSON; deterministic,
+                     bit-identical at any --jobs value
+  --timing-json FILE write wall-clock timing telemetry as JSON (not
+                     deterministic: varies run to run)
+  --csv FILE         write the result rows as CSV
+  --quiet            suppress tables and progress telemetry";
+
+struct Args {
+    spec: Option<SweepSpec>,
+    list: bool,
+    print_spec: bool,
+    jobs: usize,
+    json: Option<String>,
+    timing_json: Option<String>,
+    csv: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: None,
+        list: false,
+        print_spec: false,
+        jobs: 1,
+        json: None,
+        timing_json: None,
+        csv: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--builtin" => {
+                let name = value("--builtin")?;
+                args.spec = Some(builtin(&name).ok_or_else(|| {
+                    format!(
+                        "unknown built-in '{name}'; try: {}",
+                        BUILTIN_NAMES.join(", ")
+                    )
+                })?);
+            }
+            "--spec" => {
+                let path = value("--spec")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                args.spec = Some(
+                    serde_json::from_str(&text).map_err(|e| format!("invalid spec {path}: {e}"))?,
+                );
+            }
+            "--list" => args.list = true,
+            "--print-spec" => args.print_spec = true,
+            "--jobs" => {
+                let n = value("--jobs")?;
+                args.jobs = n
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got '{n}'"))?;
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--timing-json" => args.timing_json = Some(value("--timing-json")?),
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list {
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).expect("listed builtins exist");
+            println!("{name:<18} {:>4} points  {}", spec.len(), spec.description);
+        }
+        return Ok(());
+    }
+    let spec = args
+        .spec
+        .ok_or_else(|| format!("pick a sweep with --builtin or --spec\n{USAGE}"))?;
+    if args.print_spec {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&spec).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let opts = ExecOptions {
+        jobs: args.jobs,
+        progress: !args.quiet,
+    };
+    let run = run_sweep(&spec, &opts)?;
+
+    if !args.quiet {
+        print!("{}", render_groups(&run.result));
+        let failures = run.result.failures();
+        if !failures.is_empty() {
+            println!("failed cells ({}):", failures.len());
+            for f in failures {
+                println!(
+                    "  #{} {} {} {}: {:?}",
+                    f.index,
+                    f.workload,
+                    f.model.name(),
+                    f.techniques.label(),
+                    f.outcome
+                );
+            }
+        }
+        println!(
+            "{} points, {} jobs, {:.2}s wall ({:.1} pts/s, {:.2}M sim-cycles/s)",
+            run.result.rows.len(),
+            run.timing.jobs,
+            run.timing.wall_seconds,
+            run.timing.points_per_second,
+            run.timing.sim_cycles_per_second / 1e6,
+        );
+    }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, run.result.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.timing_json {
+        let text = serde_json::to_string_pretty(&run.timing).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, run.result.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

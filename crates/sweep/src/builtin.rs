@@ -1,0 +1,230 @@
+//! Named built-in sweep specs — the experiment grids of EXPERIMENTS.md
+//! expressed declaratively, shared by the `mcsim-sweep` CLI and the
+//! migrated experiment binaries.
+
+use mcsim_consistency::Model;
+use mcsim_proc::Techniques;
+
+use crate::spec::{SweepSpec, Window, WorkloadSpec};
+
+/// A critical-section workload axis value with the repo's default region
+/// geometry.
+#[allow(clippy::too_many_arguments)]
+fn cs(
+    label: &str,
+    procs: usize,
+    sections: usize,
+    reads: usize,
+    writes: usize,
+    locks: usize,
+    think: u32,
+    private_regions: bool,
+) -> WorkloadSpec {
+    WorkloadSpec::CriticalSections {
+        label: label.to_string(),
+        procs,
+        sections,
+        reads,
+        writes,
+        locks,
+        lines_per_region: 8,
+        think,
+        private_regions,
+    }
+}
+
+/// E6 — §5 model equalization on synthetic critical-section workloads:
+/// all four models × all four technique settings on three contention
+/// regimes.
+#[must_use]
+pub fn e6_equalization() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        "e6-equalization",
+        "§5 equalization: model spread collapses once both techniques are on",
+    );
+    spec.models = Model::ALL.to_vec();
+    spec.techniques = Techniques::ALL.to_vec();
+    spec.workloads = vec![
+        cs(
+            "uncontended (2 procs, private locks)",
+            2,
+            4,
+            3,
+            3,
+            2,
+            0,
+            false,
+        ),
+        cs("contended (4 procs, one lock)", 4, 3, 2, 2, 1, 0, false),
+        cs(
+            "mixed (4 procs, 2 locks, think time)",
+            4,
+            3,
+            3,
+            2,
+            2,
+            40,
+            false,
+        ),
+    ];
+    spec
+}
+
+/// E7 — §5 rollback/reissue rates of the speculative-load buffer as
+/// contention and think time vary (SC with both techniques).
+#[must_use]
+pub fn e7_speculation() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        "e7-speculation",
+        "§5 invalidations of speculated values are infrequent: rollback rates vs contention",
+    );
+    spec.models = vec![Model::Sc];
+    spec.techniques = vec![Techniques::BOTH];
+    for procs in [2usize, 4, 8] {
+        for locks in [procs, 1] {
+            for think in [0u32, 100] {
+                let lock_desc = if locks == 1 {
+                    "1 lock (contended)".to_string()
+                } else {
+                    format!("{locks} locks (private)")
+                };
+                spec.workloads.push(cs(
+                    &format!("{procs} procs / {lock_desc} / think {think}"),
+                    procs,
+                    4,
+                    3,
+                    3,
+                    locks,
+                    think,
+                    false,
+                ));
+            }
+        }
+    }
+    spec
+}
+
+/// E12 — miss-latency sensitivity on the paper's Example 2 consumer:
+/// the techniques' benefit grows with the latency they hide.
+#[must_use]
+pub fn e12_latency() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        "e12-latency",
+        "miss-latency sensitivity of Example 2: technique benefit grows with latency",
+    );
+    spec.models = vec![Model::Sc, Model::Rc];
+    spec.techniques = vec![Techniques::NONE, Techniques::BOTH];
+    spec.machine.miss_latency = vec![20, 50, 100, 200, 400];
+    spec.workloads = vec![WorkloadSpec::PaperExample2];
+    spec
+}
+
+/// E13 — §3.2 lookahead sensitivity: a 16-line store sweep under SC with
+/// both techniques, across instruction-window sizes.
+#[must_use]
+pub fn e13_window() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        "e13-window",
+        "§3.2 lookahead: shrinking the instruction window caps hidden latency",
+    );
+    spec.models = vec![Model::Sc];
+    spec.techniques = vec![Techniques::BOTH];
+    spec.machine.window = vec![
+        Window::Finite { rob: 4, fetch: 1 },
+        Window::Finite { rob: 8, fetch: 2 },
+        Window::Finite { rob: 16, fetch: 4 },
+        Window::Finite { rob: 32, fetch: 4 },
+        Window::Finite { rob: 64, fetch: 8 },
+        Window::Ideal,
+    ];
+    spec.workloads = vec![WorkloadSpec::ArraySweep {
+        n: 16,
+        stores: true,
+    }];
+    spec
+}
+
+/// E17 — processor-count scaling on private-region critical sections:
+/// with disjoint data the directory pipelines all cores until its
+/// single-ported bandwidth saturates.
+#[must_use]
+pub fn e17_scaling() -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        "e17-scaling",
+        "processor-count scaling of private critical sections (directory saturation)",
+    );
+    spec.models = vec![Model::Sc, Model::Rc];
+    spec.techniques = vec![Techniques::NONE, Techniques::BOTH];
+    for procs in [1usize, 2, 4, 8, 12] {
+        spec.workloads.push(cs(
+            &format!("{procs} procs"),
+            procs,
+            4,
+            3,
+            3,
+            procs,
+            0,
+            true,
+        ));
+    }
+    spec
+}
+
+/// Names accepted by [`builtin`], in documentation order.
+pub const BUILTIN_NAMES: [&str; 5] = [
+    "e6-equalization",
+    "e7-speculation",
+    "e12-latency",
+    "e13-window",
+    "e17-scaling",
+];
+
+/// Looks up a built-in spec by name.
+#[must_use]
+pub fn builtin(name: &str) -> Option<SweepSpec> {
+    match name {
+        "e6-equalization" => Some(e6_equalization()),
+        "e7-speculation" => Some(e7_speculation()),
+        "e12-latency" => Some(e12_latency()),
+        "e13-window" => Some(e13_window()),
+        "e17-scaling" => Some(e17_scaling()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_validates() {
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).unwrap_or_else(|| panic!("missing builtin {name}"));
+            assert_eq!(spec.name, name);
+            spec.validate().expect("builtin specs validate");
+            assert!(!spec.is_empty());
+        }
+        assert!(builtin("no-such-sweep").is_none());
+    }
+
+    #[test]
+    fn grid_sizes_match_experiment_definitions() {
+        assert_eq!(e6_equalization().len(), 3 * 4 * 4);
+        assert_eq!(e7_speculation().len(), 12);
+        assert_eq!(e12_latency().len(), 5 * 2 * 2);
+        assert_eq!(e13_window().len(), 6);
+        assert_eq!(e17_scaling().len(), 5 * 2 * 2);
+    }
+
+    #[test]
+    fn builtin_specs_round_trip_through_json() {
+        for name in BUILTIN_NAMES {
+            let spec = builtin(name).expect("exists");
+            let json = serde_json::to_string_pretty(&spec).expect("serializes");
+            let back: SweepSpec = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, spec, "round trip of {name}");
+            // Points (and therefore seeds) are identical after the trip.
+            assert_eq!(back.points(), spec.points());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The sharded executor.
+//!
+//! Points are claimed from a shared atomic cursor by `jobs` scoped worker
+//! threads and executed independently; each point's record lands in its
+//! own pre-allocated slot, indexed by spec expansion order. Because a
+//! point's computation depends only on the point itself (config, programs
+//! and seed are all derived from the spec), the assembled rows are
+//! bit-identical no matter how many workers ran them or how the scheduler
+//! interleaved their claims — parallelism affects only wall-clock time.
+//!
+//! Failure isolation: a point that exhausts its cycle budget or panics
+//! (e.g. a generator rejecting its parameters) is recorded as a failed
+//! cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Panicked`]) and the
+//! remaining points keep running.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mcsim_core::Machine;
+
+use crate::progress::ProgressState;
+use crate::result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
+use crate::spec::{SweepPoint, SweepSpec};
+
+/// Execution knobs.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads (`0` is treated as `1`).
+    pub jobs: usize,
+    /// Emit periodic progress telemetry to stderr.
+    pub progress: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            jobs: 1,
+            progress: false,
+        }
+    }
+}
+
+/// How often the telemetry thread re-renders, when enabled.
+const PROGRESS_PERIOD: Duration = Duration::from_millis(500);
+
+/// Runs every point of `spec` and returns the deterministic result plus
+/// wall-clock telemetry.
+///
+/// # Errors
+/// If the spec fails [`SweepSpec::validate`]; individual point failures
+/// are recorded in the rows, never returned as errors.
+pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, String> {
+    spec.validate()?;
+    let points = spec.points();
+    let jobs = opts.jobs.max(1).min(points.len().max(1));
+    let started = Instant::now();
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(PointRecord, f64)>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
+    let progress = ProgressState::new(points.len());
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(point) = points.get(idx) else { break };
+                let point_started = Instant::now();
+                let record = run_point(point);
+                let wall = point_started.elapsed().as_secs_f64();
+                progress.record(
+                    record.outcome.cycles().unwrap_or(0),
+                    !record.outcome.is_done(),
+                );
+                *slots[idx].lock().expect("slot poisoned") = Some((record, wall));
+            });
+        }
+        if opts.progress {
+            scope.spawn(|| {
+                while !progress.done() {
+                    std::thread::sleep(PROGRESS_PERIOD);
+                    eprintln!("[{}] {}", spec.name, progress.snapshot());
+                }
+            });
+        }
+    });
+
+    let mut rows = Vec::with_capacity(points.len());
+    let mut point_seconds = Vec::with_capacity(points.len());
+    for slot in slots {
+        let (record, wall) = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every point ran");
+        rows.push(record);
+        point_seconds.push(wall);
+    }
+
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let sim_cycles: u64 = rows.iter().filter_map(|r| r.outcome.cycles()).sum();
+    let timing = SweepTiming {
+        jobs,
+        wall_seconds,
+        point_seconds,
+        points_per_second: if wall_seconds > 0.0 {
+            rows.len() as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        sim_cycles_per_second: if wall_seconds > 0.0 {
+            sim_cycles as f64 / wall_seconds
+        } else {
+            0.0
+        },
+    };
+    Ok(SweepRun {
+        result: SweepResult {
+            spec: spec.clone(),
+            rows,
+        },
+        timing,
+    })
+}
+
+/// Executes one grid point, converting timeouts and panics into failed
+/// outcomes.
+fn run_point(point: &SweepPoint) -> PointRecord {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let cfg = point.machine_config();
+        let mut machine = Machine::new(cfg, point.workload.programs(point.seed));
+        point.workload.setup(&mut machine);
+        let report = machine.run();
+        if report.timed_out {
+            PointOutcome::TimedOut {
+                cycles: report.cycles,
+            }
+        } else {
+            PointOutcome::Done(PointMetrics::from_report(&report))
+        }
+    }))
+    .unwrap_or_else(|payload| PointOutcome::Panicked {
+        message: panic_message(payload.as_ref()),
+    });
+    PointRecord::new(point, outcome)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use mcsim_consistency::Model;
+    use mcsim_proc::Techniques;
+
+    fn quick_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("exec-unit", "executor unit tests");
+        spec.models = vec![Model::Sc, Model::Rc];
+        spec.techniques = vec![Techniques::NONE, Techniques::BOTH];
+        spec.workloads = vec![WorkloadSpec::PaperExample1];
+        spec
+    }
+
+    #[test]
+    fn runs_every_point_in_order() {
+        let spec = quick_spec();
+        let run = run_sweep(&spec, &ExecOptions::default()).expect("valid spec");
+        assert_eq!(run.result.rows.len(), 4);
+        for (i, row) in run.result.rows.iter().enumerate() {
+            assert_eq!(row.index, i);
+            assert!(row.outcome.is_done(), "row {i} failed: {:?}", row.outcome);
+        }
+        assert_eq!(run.timing.point_seconds.len(), 4);
+        assert_eq!(run.timing.jobs, 1);
+        // The paper's headline: techniques close most of SC's gap.
+        let rows: Vec<&PointRecord> = run.result.rows.iter().collect();
+        let sc_base = SweepResult::cycles_of(&rows, Model::Sc, Techniques::NONE).unwrap();
+        let sc_both = SweepResult::cycles_of(&rows, Model::Sc, Techniques::BOTH).unwrap();
+        assert!(sc_base > sc_both);
+    }
+
+    #[test]
+    fn jobs_are_clamped_to_grid_size() {
+        let spec = quick_spec();
+        let run = run_sweep(
+            &spec,
+            &ExecOptions {
+                jobs: 64,
+                progress: false,
+            },
+        )
+        .expect("valid spec");
+        assert_eq!(run.timing.jobs, 4);
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error_not_a_panic() {
+        let mut spec = quick_spec();
+        spec.models.clear();
+        let err = run_sweep(&spec, &ExecOptions::default()).unwrap_err();
+        assert!(err.contains("models"));
+    }
+}

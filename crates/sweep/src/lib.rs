@@ -1,0 +1,40 @@
+//! # mcsim-sweep — declarative, deterministic, parallel experiment sweeps
+//!
+//! Every quantitative claim of the paper is a comparison across a grid —
+//! consistency models × techniques × machine parameters × workloads. This
+//! crate turns such grids into data:
+//!
+//! * [`SweepSpec`] describes the grid declaratively and round-trips
+//!   through JSON, so experiments are artifacts, not ad-hoc loops.
+//! * [`run_sweep`] fans the expanded points across scoped worker threads
+//!   (`--jobs N`); every point derives its configuration, programs and
+//!   seed from the spec alone, so the assembled [`SweepResult`] is
+//!   bit-identical whatever the worker count — parallelism buys wall
+//!   time only.
+//! * [`PointRecord`] rows carry exact simulated counts (cycles,
+//!   prefetches, rollbacks, …); wall-clock telemetry lives separately in
+//!   [`SweepTiming`]. JSON and CSV writers plus the generalized
+//!   fixed-width/markdown table renderers sit on top.
+//! * A point that exhausts its cycle budget or panics becomes a failed
+//!   cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Panicked`]);
+//!   the rest of the grid keeps running.
+//!
+//! The named grids of EXPERIMENTS.md live in [`builtin`]; the
+//! `mcsim-sweep` binary runs either a built-in or a spec file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod exec;
+pub mod progress;
+pub mod result;
+pub mod spec;
+pub mod table;
+
+pub use builtin::{builtin, BUILTIN_NAMES};
+pub use exec::{run_sweep, ExecOptions};
+pub use progress::{ProgressSnapshot, ProgressState};
+pub use result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
+pub use spec::{derive_seed, MachineAxes, SweepPoint, SweepSpec, Window, WorkloadSpec};
+pub use table::{format_table, markdown_table, model_spread, render_groups, TableCell};

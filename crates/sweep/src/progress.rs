@@ -1,0 +1,144 @@
+//! Execution telemetry: lock-free counters workers bump as points
+//! finish, and periodic snapshots (points/sec, simulated cycles/sec,
+//! ETA) rendered to stderr while a sweep runs.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shared counters for one sweep execution. Workers only ever add;
+/// the telemetry thread only ever reads.
+#[derive(Debug)]
+pub struct ProgressState {
+    total: usize,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+    sim_cycles: AtomicU64,
+    started: Instant,
+}
+
+impl ProgressState {
+    /// Fresh counters for a sweep of `total` points.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        ProgressState {
+            total,
+            completed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            sim_cycles: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one finished point and the simulated cycles it covered
+    /// (0 for failed points).
+    pub fn record(&self, cycles: u64, failed: bool) {
+        self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough view for display (counters are relaxed; the
+    /// completed count may trail the cycle total by a point).
+    #[must_use]
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let points_per_sec = if elapsed > 0.0 {
+            completed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(completed);
+        ProgressSnapshot {
+            total: self.total,
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            elapsed_secs: elapsed,
+            points_per_sec,
+            sim_cycles_per_sec: if elapsed > 0.0 {
+                self.sim_cycles.load(Ordering::Relaxed) as f64 / elapsed
+            } else {
+                0.0
+            },
+            eta_secs: if points_per_sec > 0.0 {
+                remaining as f64 / points_per_sec
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+
+    /// Whether every point has been recorded.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.completed.load(Ordering::Relaxed) >= self.total
+    }
+}
+
+/// One rendered view of the counters.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressSnapshot {
+    /// Grid size.
+    pub total: usize,
+    /// Points finished (any outcome).
+    pub completed: usize,
+    /// Points that timed out or panicked.
+    pub failed: usize,
+    /// Wall seconds since the sweep started.
+    pub elapsed_secs: f64,
+    /// Completion rate.
+    pub points_per_sec: f64,
+    /// Simulated cycles retired per wall second.
+    pub sim_cycles_per_sec: f64,
+    /// Estimated seconds to completion at the current rate.
+    pub eta_secs: f64,
+}
+
+impl std::fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} points ({} failed) | {:.1} pts/s | {:.2}M sim-cycles/s | ETA {}",
+            self.completed,
+            self.total,
+            self.failed,
+            self.points_per_sec,
+            self.sim_cycles_per_sec / 1e6,
+            if self.eta_secs.is_finite() {
+                format!("{:.0}s", self.eta_secs)
+            } else {
+                "-".to_string()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let p = ProgressState::new(3);
+        assert!(!p.done());
+        p.record(100, false);
+        p.record(0, true);
+        p.record(50, false);
+        assert!(p.done());
+        let s = p.snapshot();
+        assert_eq!((s.completed, s.failed, s.total), (3, 1, 3));
+        assert!(s.points_per_sec > 0.0);
+        assert!(s.eta_secs.abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_renders() {
+        let p = ProgressState::new(2);
+        p.record(1_000_000, false);
+        let line = p.snapshot().to_string();
+        assert!(line.contains("1/2 points"), "{line}");
+        assert!(line.contains("ETA"), "{line}");
+    }
+}

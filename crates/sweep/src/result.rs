@@ -1,0 +1,375 @@
+//! Structured sweep results.
+//!
+//! A [`SweepResult`] is the deterministic part of a sweep run: one
+//! [`PointRecord`] per grid point, in spec expansion order, with purely
+//! simulated quantities (cycles, event counts). Wall-clock measurements
+//! live in the separate [`SweepTiming`] so that result rows are
+//! bit-identical no matter how many worker threads produced them.
+
+use mcsim_consistency::Model;
+use mcsim_core::RunReport;
+use mcsim_mem::Protocol;
+use mcsim_proc::Techniques;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::{SweepPoint, SweepSpec, Window};
+
+/// Simulated-quantity summary of one completed run. Every field is an
+/// exact event count — no floats — so records compare exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointMetrics {
+    /// Execution time in simulated cycles.
+    pub cycles: u64,
+    /// Instructions committed (all processors).
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Loads that retired from a speculative issue.
+    pub speculative_loads: u64,
+    /// Speculative-load-buffer rollbacks (detected violations).
+    pub rollbacks: u64,
+    /// Loads reissued after a hazard hit their buffered value.
+    pub reissues: u64,
+    /// Instructions squashed by speculation rollbacks.
+    pub squashed_by_spec: u64,
+    /// Prefetches issued by the hardware prefetch unit.
+    pub prefetches_issued: u64,
+    /// Prefetched lines later referenced by a demand access.
+    pub prefetches_useful: u64,
+    /// Demand accesses merged into an outstanding (prefetch) miss.
+    pub demand_merges: u64,
+    /// Demand misses.
+    pub demand_misses: u64,
+    /// Cycles transactions spent queued at the directory.
+    pub dir_queue_cycles: u64,
+}
+
+impl PointMetrics {
+    /// Extracts the summary from a full run report.
+    #[must_use]
+    pub fn from_report(report: &RunReport) -> Self {
+        PointMetrics {
+            cycles: report.cycles,
+            committed: report.total.committed,
+            loads: report.total.loads,
+            stores: report.total.stores,
+            speculative_loads: report.total.speculative_loads,
+            rollbacks: report.total.rollbacks,
+            reissues: report.total.reissues,
+            squashed_by_spec: report.total.squashed_by_spec,
+            prefetches_issued: report.mem.prefetches_issued,
+            prefetches_useful: report.mem.prefetches_useful,
+            demand_merges: report.mem.demand_merges,
+            demand_misses: report.mem.demand_misses,
+            dir_queue_cycles: report.mem.dir_queue_cycles,
+        }
+    }
+
+    /// Fraction of speculative loads that were rolled back.
+    #[must_use]
+    pub fn rollback_rate(&self) -> f64 {
+        if self.speculative_loads == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.speculative_loads as f64
+        }
+    }
+}
+
+/// How one grid point ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PointOutcome {
+    /// Run completed within the cycle budget.
+    Done(PointMetrics),
+    /// Run hit the cycle budget (recorded, not fatal to the sweep).
+    TimedOut {
+        /// The budget it was cut off at.
+        cycles: u64,
+    },
+    /// Point panicked while building or running (recorded, not fatal).
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl PointOutcome {
+    /// Cycles if the point completed.
+    #[must_use]
+    pub fn cycles(&self) -> Option<u64> {
+        match self {
+            PointOutcome::Done(m) => Some(m.cycles),
+            _ => None,
+        }
+    }
+
+    /// Metrics if the point completed.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&PointMetrics> {
+        match self {
+            PointOutcome::Done(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the point completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        matches!(self, PointOutcome::Done(_))
+    }
+}
+
+/// One grid point's coordinates and outcome — a self-describing result
+/// row, independent of the spec that produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointRecord {
+    /// Position in spec expansion order.
+    pub index: usize,
+    /// The seed the point's workload was generated with.
+    pub seed: u64,
+    /// Workload label.
+    pub workload: String,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Clean-miss latency (cycles).
+    pub miss_latency: u64,
+    /// Instruction-window setting.
+    pub window: Window,
+    /// Consistency model.
+    pub model: Model,
+    /// Technique combination.
+    pub techniques: Techniques,
+    /// How the run ended.
+    pub outcome: PointOutcome,
+}
+
+impl PointRecord {
+    /// Builds the row for a point and its outcome.
+    #[must_use]
+    pub fn new(point: &SweepPoint, outcome: PointOutcome) -> Self {
+        PointRecord {
+            index: point.index,
+            seed: point.seed,
+            workload: point.workload.label(),
+            protocol: point.protocol,
+            miss_latency: point.miss_latency,
+            window: point.window,
+            model: point.model,
+            techniques: point.techniques,
+            outcome,
+        }
+    }
+
+    /// The machine-parameter part of the row, used to group rows that
+    /// belong in one model × technique table.
+    #[must_use]
+    pub fn group_key(&self) -> (String, Protocol, u64, Window) {
+        (
+            self.workload.clone(),
+            self.protocol,
+            self.miss_latency,
+            self.window,
+        )
+    }
+}
+
+/// The deterministic product of a sweep: the spec plus one record per
+/// point, in expansion order. Two runs of the same spec must produce
+/// equal `SweepResult`s regardless of worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The spec that was run.
+    pub spec: SweepSpec,
+    /// One record per grid point, in expansion order.
+    pub rows: Vec<PointRecord>,
+}
+
+impl SweepResult {
+    /// Rows that did not complete.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&PointRecord> {
+        self.rows.iter().filter(|r| !r.outcome.is_done()).collect()
+    }
+
+    /// Cycles for the row matching a model/technique pair within the
+    /// rows slice given (typically one [`PointRecord::group_key`] group).
+    #[must_use]
+    pub fn cycles_of(rows: &[&PointRecord], model: Model, techniques: Techniques) -> Option<u64> {
+        rows.iter()
+            .find(|r| r.model == model && r.techniques == techniques)
+            .and_then(|r| r.outcome.cycles())
+    }
+
+    /// Serializes to pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepResult serializes")
+    }
+
+    /// Parses a result back from JSON.
+    ///
+    /// # Errors
+    /// If the JSON is malformed or does not match the schema.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Renders rows as CSV: one line per point, stable flat columns,
+    /// empty metric cells for failed points plus a textual `outcome`
+    /// column (`done` / `timeout` / `panic`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "index,workload,protocol,miss_latency,window,model,techniques,seed,outcome,\
+             cycles,committed,loads,stores,speculative_loads,rollbacks,reissues,\
+             squashed_by_spec,prefetches_issued,prefetches_useful,demand_merges,\
+             demand_misses,dir_queue_cycles\n",
+        );
+        for r in &self.rows {
+            let _ = write!(
+                out,
+                "{},{},{:?},{},{},{},{},{},",
+                r.index,
+                csv_field(&r.workload),
+                r.protocol,
+                r.miss_latency,
+                r.window,
+                r.model.name(),
+                r.techniques.label(),
+                r.seed,
+            );
+            match &r.outcome {
+                PointOutcome::Done(m) => {
+                    let _ = writeln!(
+                        out,
+                        "done,{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        m.cycles,
+                        m.committed,
+                        m.loads,
+                        m.stores,
+                        m.speculative_loads,
+                        m.rollbacks,
+                        m.reissues,
+                        m.squashed_by_spec,
+                        m.prefetches_issued,
+                        m.prefetches_useful,
+                        m.demand_merges,
+                        m.demand_misses,
+                        m.dir_queue_cycles,
+                    );
+                }
+                PointOutcome::TimedOut { .. } => {
+                    let _ = writeln!(out, "timeout{}", ",".repeat(13));
+                }
+                PointOutcome::Panicked { .. } => {
+                    let _ = writeln!(out, "panic{}", ",".repeat(13));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Quotes a CSV field when needed (labels may contain commas/spaces).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Wall-clock measurements of one sweep execution. Kept apart from
+/// [`SweepResult`] because they vary run to run and across `--jobs`
+/// settings while the result rows must not.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepTiming {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall time in seconds.
+    pub wall_seconds: f64,
+    /// Per-point wall time in seconds, in expansion order.
+    pub point_seconds: Vec<f64>,
+    /// Points completed per wall-second.
+    pub points_per_second: f64,
+    /// Simulated cycles per wall-second (completed points only).
+    pub sim_cycles_per_second: f64,
+}
+
+/// Everything a sweep execution produces: the deterministic result and
+/// the run's wall-clock telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRun {
+    /// Deterministic rows (compare these across runs).
+    pub result: SweepResult,
+    /// Non-deterministic wall-clock measurements.
+    pub timing: SweepTiming,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    fn demo_result() -> SweepResult {
+        let mut spec = SweepSpec::new("demo", "result unit tests");
+        spec.workloads = vec![crate::spec::WorkloadSpec::PaperExample1];
+        let points = spec.points();
+        let rows = vec![PointRecord::new(
+            &points[0],
+            PointOutcome::Done(PointMetrics {
+                cycles: 123,
+                committed: 10,
+                loads: 2,
+                stores: 0,
+                speculative_loads: 1,
+                rollbacks: 0,
+                reissues: 0,
+                squashed_by_spec: 0,
+                prefetches_issued: 2,
+                prefetches_useful: 2,
+                demand_merges: 0,
+                demand_misses: 2,
+                dir_queue_cycles: 0,
+            }),
+        )];
+        SweepResult { spec, rows }
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row_plus_header() {
+        let r = demo_result();
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 1 + r.rows.len());
+        assert!(csv.lines().nth(1).unwrap().contains(",done,123,"));
+        // Header and rows agree on column count.
+        let cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols, "ragged CSV line: {line}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_commas() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_rows() {
+        let r = demo_result();
+        let back = SweepResult::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn failures_lists_only_incomplete_rows() {
+        let mut r = demo_result();
+        assert!(r.failures().is_empty());
+        r.rows[0].outcome = PointOutcome::TimedOut { cycles: 7 };
+        assert_eq!(r.failures().len(), 1);
+    }
+}

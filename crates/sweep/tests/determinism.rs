@@ -1,0 +1,136 @@
+//! The engine's central guarantees, tested end to end:
+//!
+//! 1. **Determinism** — the rows a sweep produces are bit-identical
+//!    whatever the worker count (`--jobs 1` vs `--jobs 4`).
+//! 2. **Round-tripping** — specs and results survive JSON serialization,
+//!    and a round-tripped spec expands to the same seeded points.
+//! 3. **Failure isolation** — a point that times out or panics becomes a
+//!    failed cell; the rest of the grid still completes.
+
+use mcsim_consistency::Model;
+use mcsim_proc::Techniques;
+use mcsim_sweep::{run_sweep, ExecOptions, PointOutcome, SweepResult, SweepSpec, WorkloadSpec};
+
+/// A grid small enough for debug-mode tests but wide enough to exercise
+/// several workloads, models and techniques across threads.
+fn test_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("determinism-test", "jobs=1 vs jobs=4 comparison grid");
+    spec.seed = 42;
+    spec.models = vec![Model::Sc, Model::Wc];
+    spec.techniques = vec![Techniques::NONE, Techniques::BOTH];
+    spec.workloads = vec![
+        WorkloadSpec::PaperExample1,
+        WorkloadSpec::CriticalSections {
+            label: "small contended".to_string(),
+            procs: 2,
+            sections: 2,
+            reads: 2,
+            writes: 2,
+            locks: 1,
+            lines_per_region: 4,
+            think: 0,
+            private_regions: false,
+        },
+        WorkloadSpec::ArraySweep { n: 4, stores: true },
+    ];
+    spec
+}
+
+fn rows_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
+    run_sweep(
+        spec,
+        &ExecOptions {
+            jobs,
+            progress: false,
+        },
+    )
+    .expect("valid spec")
+    .result
+}
+
+#[test]
+fn parallel_rows_are_bit_identical_to_serial() {
+    let spec = test_spec();
+    let serial = rows_with_jobs(&spec, 1);
+    let parallel = rows_with_jobs(&spec, 4);
+    assert_eq!(serial.rows.len(), spec.len());
+    // PointRecord derives Eq: this compares every field of every row,
+    // including the full metric counts — not just cycles.
+    assert_eq!(serial, parallel);
+    assert!(serial.rows.iter().all(|r| r.outcome.is_done()));
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let spec = test_spec();
+    assert_eq!(rows_with_jobs(&spec, 2), rows_with_jobs(&spec, 2));
+}
+
+#[test]
+fn spec_round_trips_through_json_with_identical_points() {
+    let spec = test_spec();
+    let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+    let back: SweepSpec = serde_json::from_str(&json).expect("spec parses");
+    assert_eq!(back, spec);
+    assert_eq!(back.points(), spec.points());
+}
+
+#[test]
+fn result_round_trips_through_json() {
+    let result = rows_with_jobs(&test_spec(), 2);
+    let back = SweepResult::from_json(&result.to_json()).expect("result parses");
+    assert_eq!(back, result);
+}
+
+#[test]
+fn timeout_is_recorded_as_failed_cell_not_abort() {
+    let mut spec = test_spec();
+    spec.max_cycles = 10; // far below any real completion
+    let result = rows_with_jobs(&spec, 2);
+    assert_eq!(result.rows.len(), spec.len());
+    for row in &result.rows {
+        assert!(
+            matches!(row.outcome, PointOutcome::TimedOut { .. }),
+            "row {} should time out, got {:?}",
+            row.index,
+            row.outcome
+        );
+    }
+}
+
+#[test]
+fn panicking_point_is_isolated_from_healthy_points() {
+    let mut spec = SweepSpec::new("panic-isolation", "one bad workload among good ones");
+    spec.models = vec![Model::Sc];
+    spec.techniques = vec![Techniques::NONE];
+    spec.workloads = vec![
+        WorkloadSpec::PaperExample1,
+        // locks = 0 violates the generator's contract and panics inside
+        // the worker; the executor must contain it.
+        WorkloadSpec::CriticalSections {
+            label: "invalid (0 locks)".to_string(),
+            procs: 2,
+            sections: 1,
+            reads: 1,
+            writes: 1,
+            locks: 0,
+            lines_per_region: 4,
+            think: 0,
+            private_regions: false,
+        },
+        WorkloadSpec::ArraySweep {
+            n: 2,
+            stores: false,
+        },
+    ];
+    let result = rows_with_jobs(&spec, 2);
+    assert_eq!(result.rows.len(), 3);
+    assert!(result.rows[0].outcome.is_done());
+    assert!(
+        matches!(&result.rows[1].outcome, PointOutcome::Panicked { .. }),
+        "got {:?}",
+        result.rows[1].outcome
+    );
+    assert!(result.rows[2].outcome.is_done());
+    assert_eq!(result.failures().len(), 1);
+}

@@ -1,0 +1,67 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Length bounds accepted by [`vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec: empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "vec: empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,193 @@
+//! Workspace-local, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range/tuple/`Just`/union/vec
+//! strategies, `any::<T>()`, and the `proptest!`, `prop_oneof!`,
+//! `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its assertion message
+//!   (tests here embed their seeds/inputs in those messages).
+//! * **Deterministic cases** — inputs derive from a hash of the test's
+//!   module path and the case index, so runs are reproducible without a
+//!   persistence file; `*.proptest-regressions` files are not consumed.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+
+/// Per-test configuration (`cases` is the number of random inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The deterministic RNG strategies sample from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one `(test, case)` pair: stable across runs, distinct
+    /// across tests and cases.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Compatibility alias module: lets tests write `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface tests pull in.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop, ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts inside a `proptest!` body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `cases` times over deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $($(#[$attr:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = (0u64..100, any::<bool>());
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn union_samples_every_arm() {
+        let s = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::for_case("u", 0);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let s = crate::collection::vec(0u8..10, 2..5);
+        let mut rng = TestRng::for_case("v", 1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_and_maps(x in 0u64..50, flip in any::<bool>(), y in (1u8..4).prop_map(u64::from)) {
+            prop_assert!(x < 50);
+            prop_assert!((1..4).contains(&y));
+            prop_assert_eq!(flip, flip);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically samples one value per call from a
+//! [`TestRng`]; composition mirrors real proptest (`prop_map`, tuples,
+//! unions, `Just`) minus shrinking.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleRange};
+
+use crate::TestRng;
+
+/// Something that can produce values of [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a strategy whose values are `f` applied to this one's.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe core of [`Strategy`], so unions can hold mixed concrete
+/// strategy types behind one value type.
+pub trait DynStrategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn DynStrategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.as_ref().generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms.
+    ///
+    /// # Panics
+    /// If `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "Union needs at least one strategy");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Full-domain sampling for a type ([`any`]).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over a type's whole domain (`any::<u64>()`, `any::<bool>()`).
+#[must_use]
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_via_next_u64 {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let conv: fn(u64) -> $t = $conv;
+                conv(rand::RngCore::next_u64(rng))
+            }
+        }
+    )*};
+}
+
+any_via_next_u64! {
+    bool => |bits| bits & 1 == 1,
+    u8 => |bits| bits as u8,
+    u16 => |bits| bits as u16,
+    u32 => |bits| bits as u32,
+    u64 => |bits| bits,
+    usize => |bits| bits as usize,
+    i8 => |bits| bits as i8,
+    i16 => |bits| bits as i16,
+    i32 => |bits| bits as i32,
+    i64 => |bits| bits as i64,
+    isize => |bits| bits as isize,
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.clone().sample(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

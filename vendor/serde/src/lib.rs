@@ -1,0 +1,93 @@
+//! Workspace-local, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of serde it actually uses: `Serialize` /
+//! `Deserialize` traits (implemented through a self-describing [`Value`]
+//! tree rather than serde's visitor machinery), derive macros for structs
+//! and enums, and enough primitive/collection impls for the simulator's
+//! reports, configurations, and sweep specifications.
+//!
+//! The external API mirrors real serde where the workspace touches it:
+//! `#[derive(Serialize, Deserialize)]`, `use serde::{Serialize,
+//! Deserialize}`, and `serde_json::{to_string, to_string_pretty,
+//! from_str}`. Swapping the real crates back in requires only restoring
+//! the registry dependencies in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+mod de;
+mod error;
+mod ser;
+mod value;
+
+pub use de::Deserialize;
+pub use error::Error;
+pub use ser::Serialize;
+pub use value::Value;
+
+// Derive macros. Rust resolves the macro and trait namespaces
+// independently, so `serde::Serialize` works in both positions, exactly
+// like the real crate.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Helpers used by the generated derive code. Not part of the public API.
+#[doc(hidden)]
+pub mod derive_support {
+    use crate::{Error, Value};
+
+    /// Looks up a struct field in a serialized map.
+    pub fn field<'v>(v: &'v Value, ty: &str, name: &str) -> Result<&'v Value, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("{ty}: missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "{ty}: expected a map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Splits an enum value into `(variant_name, payload)`. Unit variants
+    /// are encoded as a bare string, data variants as a single-entry map
+    /// (serde's externally-tagged representation).
+    pub fn enum_parts<'v>(v: &'v Value, ty: &str) -> Result<(&'v str, Option<&'v Value>), Error> {
+        match v {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::new(format!(
+                "{ty}: expected a variant string or single-entry map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts the payload sequence of a tuple variant / tuple struct.
+    pub fn seq<'v>(v: &'v Value, ty: &str, len: usize) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Seq(items) if items.len() == len => Ok(items),
+            Value::Seq(items) => Err(Error::new(format!(
+                "{ty}: expected {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(Error::new(format!(
+                "{ty}: expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for an unknown enum variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Error {
+        Error::new(format!("{ty}: unknown variant `{variant}`"))
+    }
+
+    /// Error for a variant whose payload shape is wrong.
+    pub fn bad_payload(ty: &str, variant: &str) -> Error {
+        Error::new(format!("{ty}: malformed payload for variant `{variant}`"))
+    }
+}

@@ -1,0 +1,397 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde
+//! stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this macro parses the item's token stream by
+//! hand. It supports what the workspace uses: non-generic structs (named,
+//! tuple/newtype, unit) and enums (unit, tuple, and struct variants).
+//! Field *types* never need to be understood — generated code just calls
+//! the `Serialize`/`Deserialize` trait methods on each field — so the
+//! parser only extracts names and field counts and skips types with a
+//! small angle-bracket-depth scanner.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct`/`enum` item.
+struct Adt {
+    name: String,
+    kind: AdtKind,
+}
+
+enum AdtKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let adt = parse_adt(input);
+    gen_serialize(&adt).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let adt = parse_adt(input);
+    gen_deserialize(&adt)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any number of `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("serde derive: expected attribute body, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips tokens until a top-level `,` (consumed) or the end, tracking
+    /// `<...>` nesting so commas inside generic arguments don't terminate
+    /// early. Delimited groups arrive as single atomic tokens.
+    fn skip_past_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_adt(input: TokenStream) -> Adt {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde derive: generic type `{name}` is not supported by the offline serde stand-in"
+        );
+    }
+    let kind = match keyword.as_str() {
+        "struct" => AdtKind::Struct(match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }),
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                AdtKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Adt { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_past_comma(); // the type
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            break;
+        }
+        c.skip_past_comma(); // the type
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        c.skip_past_comma();
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(adt: &Adt) -> String {
+    let name = &adt.name;
+    let body = match &adt.kind {
+        AdtKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        AdtKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        AdtKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        AdtKind::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        AdtKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {payload})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(adt: &Adt) -> String {
+    let name = &adt.name;
+    let body = match &adt.kind {
+        AdtKind::Struct(Fields::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        AdtKind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        AdtKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = ::serde::derive_support::seq(v, \"{name}\", {n})?; \
+                 Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+        AdtKind::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::derive_support::field(v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        AdtKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "\"{v}\" => if payload.is_none() {{ Ok({name}::{v}) }} else {{ \
+                         Err(::serde::derive_support::bad_payload(\"{name}\", \"{v}\")) }},"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => {{ let p = payload.ok_or_else(|| \
+                         ::serde::derive_support::bad_payload(\"{name}\", \"{v}\"))?; \
+                         Ok({name}::{v}(::serde::Deserialize::from_value(p)?)) }},"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let p = payload.ok_or_else(|| \
+                             ::serde::derive_support::bad_payload(\"{name}\", \"{v}\"))?; \
+                             let items = ::serde::derive_support::seq(p, \"{name}\", {n})?; \
+                             Ok({name}::{v}({})) }},",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::derive_support::field(p, \"{name}::{v}\", \
+                                     \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let p = payload.ok_or_else(|| \
+                             ::serde::derive_support::bad_payload(\"{name}\", \"{v}\"))?; \
+                             Ok({name}::{v} {{ {} }}) }},",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let (variant, payload) = ::serde::derive_support::enum_parts(v, \"{name}\")?; \
+                 match variant {{ {} other => \
+                 Err(::serde::derive_support::unknown_variant(\"{name}\", other)), }} }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }} }}"
+    )
+}

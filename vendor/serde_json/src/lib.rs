@@ -1,0 +1,118 @@
+//! Workspace-local, offline stand-in for the `serde_json` crate.
+//!
+//! Provides `to_string`, `to_string_pretty`, and `from_str` over the
+//! vendored serde stand-in's value tree. The emitted text is ordinary
+//! JSON; field order follows declaration order, so output is
+//! deterministic.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+mod write;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use parse::parse_value;
+
+/// A JSON (de)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+/// Never fails for types produced by the workspace's derives; the
+/// `Result` mirrors the real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes `value` as indented JSON.
+///
+/// # Errors
+/// Never fails for types produced by the workspace's derives.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for json in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let v = parse_value(json).unwrap();
+            assert_eq!(write::compact(&v), json, "roundtrip of {json}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let json = r#"{"a":[1,2,3],"b":{"x":null},"c":"q\"uote"}"#;
+        let v = parse_value(json).unwrap();
+        assert_eq!(write::compact(&v), json);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = Value::Map(vec![
+            (
+                "k".into(),
+                Value::Seq(vec![Value::U64(1), Value::Bool(true)]),
+            ),
+            ("s".into(), Value::Str("line\nbreak".into())),
+        ]);
+        let text = write::pretty(&v);
+        assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs: Vec<u64> = vec![3, 5, 8];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        let e = from_str::<u64>("[1]").unwrap_err();
+        assert!(e.to_string().contains("expected"));
+        assert!(parse_value("{bad").is_err());
+        assert!(parse_value("1 trailing").is_err());
+    }
+}
