@@ -15,7 +15,11 @@ fn main() {
         &Techniques::ALL,
         || vec![paper::example1()],
         |_| {},
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     println!(
         "{}",
         format_table("Figure 2 / Example 1 — producer (cycles)", &rows)

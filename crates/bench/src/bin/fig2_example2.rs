@@ -15,7 +15,11 @@ fn main() {
         &Techniques::ALL,
         || vec![paper::example2()],
         paper::setup_example2,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
     println!(
         "{}",
         format_table("Figure 2 / Example 2 — consumer (cycles)", &rows)

@@ -27,7 +27,11 @@ fn main() {
                     m.preload_cache(0, a, false);
                 }
             },
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
         println!(
             "{}",
             format_table(

@@ -19,7 +19,11 @@ fn main() {
             &[Techniques::NONE, Techniques::PREFETCH],
             || vec![paper::example1()],
             |_| {},
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
         println!(
             "{}",
             format_table(

@@ -77,7 +77,8 @@ mod tests {
                     .unwrap()]
             },
             |_| {},
-        );
+        )
+        .expect("no cell fails");
         let t = markdown_table(&rows);
         assert!(t.starts_with("| model |"));
         assert!(t.contains("| SC |"));

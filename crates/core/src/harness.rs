@@ -8,6 +8,7 @@
 use crate::machine::{Machine, MachineConfig};
 use crate::report::RunReport;
 use mcsim_consistency::Model;
+use mcsim_guard::SimError;
 use mcsim_isa::Program;
 use mcsim_proc::Techniques;
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,8 @@ pub struct MatrixRow {
 }
 
 /// A matrix cell whose run did not complete: the workload hit the
-/// configured cycle budget under one model/technique combination.
+/// configured cycle budget — or failed with a structured diagnostic —
+/// under one model/technique combination.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellFailure {
     /// Consistency model of the failed cell.
@@ -35,15 +37,25 @@ pub struct CellFailure {
     pub techniques: Techniques,
     /// Cycle count at which the run was cut off.
     pub cycles: u64,
+    /// The structured failure, when the guard layer (rather than the
+    /// plain cycle budget) stopped the run.
+    pub error: Option<SimError>,
 }
 
 impl std::fmt::Display for CellFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "workload timed out under {}/{} after {} cycles",
-            self.model, self.techniques, self.cycles
-        )
+        match &self.error {
+            Some(e) => write!(
+                f,
+                "workload failed under {}/{}: {e}",
+                self.model, self.techniques
+            ),
+            None => write!(
+                f,
+                "workload timed out under {}/{} after {} cycles",
+                self.model, self.techniques, self.cycles
+            ),
+        }
     }
 }
 
@@ -74,11 +86,12 @@ pub fn try_run_matrix(
             let mut m = Machine::new(cfg, workload());
             setup(&mut m);
             let report = m.run();
-            if report.timed_out {
+            if report.timed_out || report.failure.is_some() {
                 return Err(CellFailure {
                     model,
                     techniques: t,
                     cycles: report.cycles,
+                    error: report.failure,
                 });
             }
             rows.push(MatrixRow {
@@ -92,22 +105,17 @@ pub fn try_run_matrix(
     Ok(rows)
 }
 
-/// Infallible variant of [`try_run_matrix`] for callers that treat a
-/// timeout as a bug in the experiment definition.
-///
-/// # Panics
-/// If any cell times out.
+/// Alias of [`try_run_matrix`]: every caller gets the same structured
+/// failure path (a [`CellFailure`] carrying the guard's [`SimError`]
+/// when one produced it) instead of an unwind.
 pub fn run_matrix(
     base: &MachineConfig,
     models: &[Model],
     techniques: &[Techniques],
     workload: impl FnMut() -> Vec<Program>,
     setup: impl FnMut(&mut Machine),
-) -> Vec<MatrixRow> {
-    match try_run_matrix(base, models, techniques, workload, setup) {
-        Ok(rows) => rows,
-        Err(failure) => panic!("{failure}"),
-    }
+) -> Result<Vec<MatrixRow>, CellFailure> {
+    try_run_matrix(base, models, techniques, workload, setup)
 }
 
 /// Renders matrix rows as a fixed-width table: one row per model, one
@@ -203,7 +211,8 @@ mod tests {
             &Techniques::ALL,
             two_store_workload,
             |_| {},
-        );
+        )
+        .expect("no cell fails");
         assert_eq!(rows.len(), 16);
         // SC conventional is the slowest cell; RC+both among the fastest.
         let sc_base = rows
@@ -227,7 +236,8 @@ mod tests {
             &[Techniques::NONE, Techniques::BOTH],
             two_store_workload,
             |_| {},
-        );
+        )
+        .expect("no cell fails");
         let before = model_spread(&rows, Techniques::NONE);
         let after = model_spread(&rows, Techniques::BOTH);
         assert!(
@@ -261,7 +271,8 @@ mod tests {
             &[Techniques::NONE, Techniques::BOTH],
             two_store_workload,
             |_| {},
-        );
+        )
+        .expect("no cell fails");
         let t = format_table("demo", &rows);
         assert!(t.contains("SC"));
         assert!(t.contains("RC"));

@@ -28,6 +28,9 @@ pub mod trace;
 
 pub use harness::{format_table, model_spread, run_matrix, try_run_matrix, CellFailure, MatrixRow};
 pub use machine::{Machine, MachineConfig};
+pub use mcsim_guard::{
+    FaultKind, GuardConfig, InvariantKind, SimError, SimErrorKind, StallClass, StallReport,
+};
 pub use oracle::{sc_outcomes, OracleConfig, Outcome};
 pub use report::RunReport;
 pub use trace::render_timeline;

@@ -2,6 +2,7 @@
 
 use crate::report::RunReport;
 use mcsim_consistency::Model;
+use mcsim_guard::{GuardConfig, SimError, StallReport};
 use mcsim_isa::{Addr, Program};
 use mcsim_mem::{MemConfig, MemorySystem};
 use mcsim_proc::{ProcConfig, Processor, Techniques};
@@ -24,6 +25,9 @@ pub struct MachineConfig {
     pub max_cycles: u64,
     /// Record per-core event traces (Figure 5 style).
     pub trace: bool,
+    /// Runtime-verification settings: invariant-check cadence, the
+    /// forward-progress watchdog, and fault injection.
+    pub guard: GuardConfig,
 }
 
 impl MachineConfig {
@@ -38,6 +42,7 @@ impl MachineConfig {
             mem: MemConfig::paper(),
             max_cycles: 2_000_000,
             trace: false,
+            guard: GuardConfig::default(),
         }
     }
 
@@ -76,7 +81,10 @@ impl Machine {
     #[must_use]
     pub fn new(cfg: MachineConfig, programs: Vec<Program>) -> Self {
         assert!(!programs.is_empty(), "need at least one program");
-        let mem = MemorySystem::new(cfg.mem, programs.len());
+        let mut mem = MemorySystem::new(cfg.mem, programs.len());
+        if let Some(kind) = cfg.guard.fault {
+            mem.arm_fault(kind);
+        }
         let mut proc_cfg = cfg.proc;
         proc_cfg.techniques = cfg.techniques;
         let procs = programs
@@ -157,28 +165,92 @@ impl Machine {
         all_halted
     }
 
+    /// Takes the first structured fault recorded anywhere in the machine
+    /// (memory system first, then cores in index order).
+    pub fn poll_fault(&mut self) -> Option<SimError> {
+        if let Some(e) = self.mem.take_fault() {
+            return Some(e);
+        }
+        self.procs.iter_mut().find_map(Processor::take_fault)
+    }
+
+    /// Runs the full invariant catalog once: coherence/directory/MSHR
+    /// agreement in the memory system, then each core's buffer ordering.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        self.mem.check_invariants()?;
+        for p in &self.procs {
+            p.check_invariants(self.cycle)?;
+        }
+        Ok(())
+    }
+
     /// Runs to completion (or `max_cycles`) and produces the report.
+    ///
+    /// Structured failures — a protocol-contract fault, an invariant
+    /// violation, or the forward-progress watchdog firing — stop the run
+    /// and land in [`RunReport::failure`] instead of unwinding.
     #[must_use]
     pub fn run(mut self) -> RunReport {
+        let every_cycle = cfg!(any(feature = "strict-invariants", debug_assertions));
+        let period = self.cfg.guard.effective_period(every_cycle);
+        let mut watchdog = Watchdog::new(self.cfg.guard.watchdog_window, &self.procs);
         let mut timed_out = true;
+        let mut failure = None;
         while self.cycle < self.cfg.max_cycles {
             if self.step() {
+                timed_out = false;
+                // Final-state audit: a fault or violation landing on the
+                // very cycle the last core halts (e.g. a tainted grant
+                // arriving as the writer retires) must not pass as a
+                // clean run, whatever the checking cadence.
+                failure = self
+                    .poll_fault()
+                    .or_else(|| period.and_then(|_| self.check_invariants().err()));
+                break;
+            }
+            if let Some(e) = self.poll_fault() {
+                failure = Some(e);
+                timed_out = false;
+                break;
+            }
+            if period.is_some_and(|n| self.cycle.is_multiple_of(n)) {
+                if let Err(e) = self.check_invariants() {
+                    failure = Some(e);
+                    timed_out = false;
+                    break;
+                }
+            }
+            if let Some(report) = watchdog.observe(self.cycle, &self.procs, &self.mem) {
+                failure = Some(SimError::no_progress(self.cycle, report));
                 timed_out = false;
                 break;
             }
         }
-        self.into_report(timed_out)
+        self.into_report_with(timed_out, failure)
     }
 
     /// Finalizes a (possibly manually stepped) machine into a report.
     #[must_use]
-    pub fn into_report(mut self, timed_out: bool) -> RunReport {
-        let cycles = self
-            .procs
-            .iter()
-            .map(|p| p.stats().halted_at)
-            .max()
-            .unwrap_or(0);
+    pub fn into_report(self, timed_out: bool) -> RunReport {
+        self.into_report_with(timed_out, None)
+    }
+
+    fn into_report_with(mut self, timed_out: bool, failure: Option<SimError>) -> RunReport {
+        // A cut-off run has cores that never halted; their `halted_at` is
+        // meaningless (zero), so report how far the machine actually got:
+        // up to the first violation on failure, the full budget on
+        // timeout.
+        let cycles = if let Some(f) = &failure {
+            f.cycle
+        } else if timed_out {
+            self.cycle
+        } else {
+            self.procs
+                .iter()
+                .map(|p| p.stats().halted_at)
+                .max()
+                .unwrap_or(0)
+        };
         let per_proc: Vec<_> = self.procs.iter().map(|p| *p.stats()).collect();
         let mut total = mcsim_proc::ProcStats::default();
         for s in &per_proc {
@@ -189,6 +261,7 @@ impl Machine {
         RunReport {
             cycles,
             timed_out,
+            failure,
             per_proc,
             total,
             mem: *self.mem.stats(),
@@ -196,6 +269,83 @@ impl Machine {
             traces,
             memory: self.mem.snapshot_coherent(),
         }
+    }
+}
+
+/// The forward-progress watchdog: windowed sampling of retirement and
+/// coherence activity. It fires only when a *full* window passes with no
+/// instruction retired on any core, no memory-system activity of any
+/// kind, and nothing in flight at the window edge — a state the machine
+/// can never leave on its own. Long-but-progressing runs (e.g. a spin
+/// loop, which retires its polling instructions) never trip it; they are
+/// left to the plain `max_cycles` timeout.
+#[derive(Debug)]
+struct Watchdog {
+    window: u64,
+    committed: u64,
+    activity: u64,
+    /// Per-core fetch PCs at the last window edge (a moving frontend with
+    /// no retirement is the livelock signature).
+    pcs: Vec<u32>,
+    /// Total speculation churn (rollbacks + reissues) at the last edge.
+    churn: u64,
+}
+
+impl Watchdog {
+    fn new(window: u64, procs: &[Processor]) -> Self {
+        Watchdog {
+            window,
+            committed: 0,
+            activity: 0,
+            pcs: procs.iter().map(Processor::fetch_pc).collect(),
+            churn: 0,
+        }
+    }
+
+    fn totals(procs: &[Processor]) -> (u64, u64) {
+        let committed = procs.iter().map(|p| p.stats().committed).sum();
+        let churn = procs
+            .iter()
+            .map(|p| p.stats().rollbacks + p.stats().reissues)
+            .sum();
+        (committed, churn)
+    }
+
+    /// Samples at window edges; returns a stall report when the window
+    /// that just closed was completely silent.
+    fn observe(
+        &mut self,
+        cycle: u64,
+        procs: &[Processor],
+        mem: &MemorySystem,
+    ) -> Option<StallReport> {
+        if self.window == 0 || cycle == 0 || !cycle.is_multiple_of(self.window) {
+            return None;
+        }
+        let (committed, churn) = Self::totals(procs);
+        let activity = mem.activity();
+        let pcs: Vec<u32> = procs.iter().map(Processor::fetch_pc).collect();
+        let silent =
+            committed == self.committed && activity == self.activity && mem.in_flight() == 0;
+        let report = silent.then(|| {
+            let frontend_moved = pcs != self.pcs;
+            let speculation_churned = churn != self.churn;
+            StallReport {
+                class: StallReport::classify(frontend_moved, speculation_churned),
+                window: self.window,
+                since_cycle: cycle - self.window,
+                stalled: procs
+                    .iter()
+                    .filter(|p| !p.halted())
+                    .map(Processor::stall_snapshot)
+                    .collect(),
+            }
+        });
+        self.committed = committed;
+        self.activity = activity;
+        self.pcs = pcs;
+        self.churn = churn;
+        report
     }
 }
 
@@ -257,6 +407,14 @@ mod tests {
         cfg.max_cycles = 5_000;
         let report = Machine::new(cfg, vec![prog]).run();
         assert!(report.timed_out);
+        // Regression: a timed-out run used to report `cycles` from the
+        // `halted_at` of cores that never halted (i.e. 0); it must report
+        // how far the machine actually got.
+        assert_eq!(report.cycles, 5_000);
+        assert!(
+            report.failure.is_none(),
+            "a progressing spin is a plain timeout, not a watchdog failure"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Run results.
 
+use mcsim_guard::SimError;
 use mcsim_isa::reg::RegFile;
 use mcsim_isa::RegId;
 use mcsim_mem::MemStats;
@@ -15,6 +16,10 @@ pub struct RunReport {
     pub cycles: u64,
     /// The run hit `max_cycles` before every core halted.
     pub timed_out: bool,
+    /// Structured failure that stopped the run early: a protocol fault,
+    /// an invariant violation, or the forward-progress watchdog firing.
+    /// `None` for clean (and plain timed-out) runs.
+    pub failure: Option<SimError>,
     /// Per-core counters.
     pub per_proc: Vec<ProcStats>,
     /// Machine-wide totals.
@@ -46,10 +51,17 @@ impl RunReport {
     /// One-line summary for logs.
     #[must_use]
     pub fn summary(&self) -> String {
+        let status = if self.failure.is_some() {
+            " (FAILED)"
+        } else if self.timed_out {
+            " (TIMED OUT)"
+        } else {
+            ""
+        };
         format!(
             "{} cycles{} | {} instrs | {} spec loads, {} rollbacks, {} reissues | {} prefetches ({} useful) | hit rate {:.1}%",
             self.cycles,
-            if self.timed_out { " (TIMED OUT)" } else { "" },
+            status,
             self.total.committed,
             self.total.speculative_loads,
             self.total.rollbacks,
@@ -70,6 +82,7 @@ mod tests {
         let r = RunReport {
             cycles: 103,
             timed_out: false,
+            failure: None,
             per_proc: vec![],
             total: ProcStats {
                 committed: 6,
@@ -91,6 +104,7 @@ mod tests {
         let r = RunReport {
             cycles: 0,
             timed_out: false,
+            failure: None,
             per_proc: vec![],
             total: ProcStats::default(),
             mem: MemStats::default(),

@@ -43,6 +43,89 @@ enum Way {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SetFull;
 
+/// A protocol-contract violation detected by the cache array: the caller
+/// asked for an operation the coherence protocol should have made
+/// impossible. These were formerly `panic!` sites; the memory system now
+/// converts them into structured [`mcsim_guard::SimError`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFault {
+    /// `read_word` on a line that is not present.
+    ReadAbsent {
+        /// The absent line.
+        line: LineAddr,
+    },
+    /// `write_word` on a line that is not present.
+    WriteAbsent {
+        /// The absent line.
+        line: LineAddr,
+    },
+    /// `write_word` on a line held in a non-exclusive state.
+    WriteNotExclusive {
+        /// The line written.
+        line: LineAddr,
+        /// The state it was actually in.
+        state: LineState,
+    },
+    /// `demote_to_reserved` on a line that is not present.
+    DemoteAbsent {
+        /// The absent line.
+        line: LineAddr,
+    },
+    /// `pin` on a line that is not present.
+    PinAbsent {
+        /// The absent line.
+        line: LineAddr,
+    },
+    /// A fill for a reserved way arrived without data.
+    FillWithoutData {
+        /// The line being filled.
+        line: LineAddr,
+    },
+    /// A fill arrived for a line with no reserved or present way.
+    FillWithoutWay {
+        /// The line being filled.
+        line: LineAddr,
+    },
+}
+
+impl std::fmt::Display for CacheFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheFault::ReadAbsent { line } => write!(f, "read_word on absent line {line}"),
+            CacheFault::WriteAbsent { line } => write!(f, "write_word on absent line {line}"),
+            CacheFault::WriteNotExclusive { line, state } => {
+                write!(f, "write_word on {line} held {state:?}, not exclusive")
+            }
+            CacheFault::DemoteAbsent { line } => {
+                write!(f, "demote_to_reserved on absent line {line}")
+            }
+            CacheFault::PinAbsent { line } => write!(f, "pin on absent line {line}"),
+            CacheFault::FillWithoutData { line } => {
+                write!(f, "fill of reserved way for {line} arrived without data")
+            }
+            CacheFault::FillWithoutWay { line } => {
+                write!(f, "fill for {line} with no reserved or present way")
+            }
+        }
+    }
+}
+
+impl CacheFault {
+    /// The line the faulting operation targeted.
+    #[must_use]
+    pub fn line(&self) -> LineAddr {
+        match self {
+            CacheFault::ReadAbsent { line }
+            | CacheFault::WriteAbsent { line }
+            | CacheFault::WriteNotExclusive { line, .. }
+            | CacheFault::DemoteAbsent { line }
+            | CacheFault::PinAbsent { line }
+            | CacheFault::FillWithoutData { line }
+            | CacheFault::FillWithoutWay { line } => *line,
+        }
+    }
+}
+
 /// Result of reserving a way: what (if anything) was evicted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Evicted {
@@ -142,33 +225,27 @@ impl Cache {
         false
     }
 
-    /// Reads the word at `addr`.
-    ///
-    /// # Panics
-    /// If the line is not present — callers must only read lines the
-    /// protocol has made readable.
-    #[must_use]
-    pub fn read_word(&self, addr: Addr) -> u64 {
+    /// Reads the word at `addr`. Errors if the line is not present —
+    /// callers must only read lines the protocol has made readable.
+    pub fn read_word(&self, addr: Addr) -> Result<u64, CacheFault> {
         let line = addr.line(self.cfg.block_bits);
         let word = (addr.offset(self.cfg.block_bits) / 8) as usize;
         let set = &self.sets[self.set_of(line)];
         for w in set {
             if let Way::Present { line: l, data, .. } = w {
                 if *l == line.0 {
-                    return data[word];
+                    return Ok(data[word]);
                 }
             }
         }
-        panic!("read_word on absent line {line}");
+        Err(CacheFault::ReadAbsent { line })
     }
 
-    /// Writes the word at `addr`.
-    ///
-    /// # Panics
-    /// If the line is not held exclusively — the protocol must grant
-    /// ownership before a write (invalidation protocol), or the caller is
-    /// the update-protocol path which uses [`Cache::update_word`].
-    pub fn write_word(&mut self, addr: Addr, value: u64) {
+    /// Writes the word at `addr`. Errors if the line is not held
+    /// exclusively — the protocol must grant ownership before a write
+    /// (invalidation protocol), or the caller is the update-protocol path
+    /// which uses [`Cache::update_word`].
+    pub fn write_word(&mut self, addr: Addr, value: u64) -> Result<(), CacheFault> {
         let line = addr.line(self.cfg.block_bits);
         let word = (addr.offset(self.cfg.block_bits) / 8) as usize;
         let set_idx = self.set_of(line);
@@ -181,17 +258,18 @@ impl Cache {
             } = w
             {
                 if *l == line.0 {
-                    assert_eq!(
-                        *state,
-                        LineState::Exclusive,
-                        "write_word requires exclusive ownership of {line}"
-                    );
+                    if *state != LineState::Exclusive {
+                        return Err(CacheFault::WriteNotExclusive {
+                            line,
+                            state: *state,
+                        });
+                    }
                     data[word] = value;
-                    return;
+                    return Ok(());
                 }
             }
         }
-        panic!("write_word on absent line {line}");
+        Err(CacheFault::WriteAbsent { line })
     }
 
     /// Update-protocol word refresh: overwrites the word in place if the
@@ -246,44 +324,50 @@ impl Cache {
             return Err(SetFull); // every way reserved or pinned
         };
         let old = std::mem::replace(&mut set[i], Way::Reserved { line: line.0 });
-        let Way::Present {
+        if let Way::Present {
             line: vl,
             state,
             data,
             ..
         } = old
-        else {
-            unreachable!("victim index points at a present way");
-        };
-        Ok(match state {
-            LineState::Exclusive => Evicted::Dirty {
-                line: LineAddr(vl),
-                data,
-            },
-            LineState::Shared => Evicted::Clean { line: LineAddr(vl) },
-        })
+        {
+            Ok(match state {
+                LineState::Exclusive => Evicted::Dirty {
+                    line: LineAddr(vl),
+                    data,
+                },
+                LineState::Shared => Evicted::Clean { line: LineAddr(vl) },
+            })
+        } else {
+            // The victim index was computed from present ways, so this arm
+            // cannot run; restoring the way and reporting a full set is the
+            // benign recovery if it ever does.
+            set[i] = old;
+            Err(SetFull)
+        }
     }
 
     /// Converts a present line's way into a reservation, keeping the slot
     /// earmarked for an in-flight upgrade whose shared copy was just
     /// invalidated (the upgrade will now be answered with full data).
-    pub fn demote_to_reserved(&mut self, line: LineAddr) {
+    /// Errors if the line is absent.
+    pub fn demote_to_reserved(&mut self, line: LineAddr) -> Result<(), CacheFault> {
         let set_idx = self.set_of(line);
         for w in &mut self.sets[set_idx] {
             if let Way::Present { line: l, .. } = w {
                 if *l == line.0 {
                     *w = Way::Reserved { line: line.0 };
-                    return;
+                    return Ok(());
                 }
             }
         }
-        panic!("demote_to_reserved on absent line {line}");
+        Err(CacheFault::DemoteAbsent { line })
     }
 
     /// Pins a present line so it cannot be victimized while an in-place
     /// transaction (upgrade) is outstanding for it. Cleared by the next
-    /// [`Cache::fill`].
-    pub fn pin(&mut self, line: LineAddr) {
+    /// [`Cache::fill`]. Errors if the line is absent.
+    pub fn pin(&mut self, line: LineAddr) -> Result<(), CacheFault> {
         let set_idx = self.set_of(line);
         for w in &mut self.sets[set_idx] {
             if let Way::Present {
@@ -292,11 +376,11 @@ impl Cache {
             {
                 if *l == line.0 {
                     *pinned = true;
-                    return;
+                    return Ok(());
                 }
             }
         }
-        panic!("pin on absent line {line}");
+        Err(CacheFault::PinAbsent { line })
     }
 
     /// Installs fill data.
@@ -305,23 +389,24 @@ impl Cache {
     /// * On a `Present` way (upgrade completion): raises the state; if the
     ///   directory sent data (upgrade race), replaces the data too.
     ///
-    /// # Panics
-    /// If the line is neither reserved nor present, or a reserved fill
-    /// arrives without data.
+    /// Errors if the line is neither reserved nor present, or a reserved
+    /// fill arrives without data.
     pub fn fill(
         &mut self,
         line: LineAddr,
         state: LineState,
         data: Option<Box<[u64]>>,
         prefetched: bool,
-    ) {
+    ) -> Result<(), CacheFault> {
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.set_of(line);
         for w in &mut self.sets[set_idx] {
             match w {
                 Way::Reserved { line: l } if *l == line.0 => {
-                    let data = data.expect("fill of a reserved way requires data");
+                    let Some(data) = data else {
+                        return Err(CacheFault::FillWithoutData { line });
+                    };
                     *w = Way::Present {
                         line: line.0,
                         state,
@@ -330,7 +415,7 @@ impl Cache {
                         prefetched,
                         pinned: false,
                     };
-                    return;
+                    return Ok(());
                 }
                 Way::Present {
                     line: l,
@@ -347,12 +432,12 @@ impl Cache {
                     *lru = clock;
                     *pf = prefetched && *pf;
                     *pinned = false;
-                    return;
+                    return Ok(());
                 }
                 _ => {}
             }
         }
-        panic!("fill for line {line} with no reserved or present way");
+        Err(CacheFault::FillWithoutWay { line })
     }
 
     /// Invalidates the line if present, returning its data (needed when
@@ -360,12 +445,8 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Box<[u64]>> {
         let set_idx = self.set_of(line);
         for w in &mut self.sets[set_idx] {
-            if let Way::Present { line: l, .. } = w {
-                if *l == line.0 {
-                    let old = std::mem::replace(w, Way::Invalid);
-                    let Way::Present { data, .. } = old else {
-                        unreachable!();
-                    };
+            if matches!(w, Way::Present { line: l, .. } if *l == line.0) {
+                if let Way::Present { data, .. } = std::mem::replace(w, Way::Invalid) {
                     return Some(data);
                 }
             }
@@ -392,6 +473,20 @@ impl Cache {
             }
         }
         None
+    }
+
+    /// Every present line with its state and pin status — the invariant
+    /// checker walks this to verify SWMR and directory agreement.
+    pub fn present_lines(&self) -> impl Iterator<Item = (LineAddr, LineState, bool)> + '_ {
+        self.sets.iter().flatten().filter_map(|w| match w {
+            Way::Present {
+                line,
+                state,
+                pinned,
+                ..
+            } => Some((LineAddr(*line), *state, *pinned)),
+            _ => None,
+        })
     }
 
     /// Number of valid (present) lines — used by tests and stats.
@@ -432,37 +527,55 @@ mod tests {
         assert_eq!(c.state(L0), None);
         assert_eq!(c.reserve(L0), Ok(Evicted::None));
         assert!(c.is_reserved(L0));
-        c.fill(L0, LineState::Shared, Some(line_data(7)), false);
+        c.fill(L0, LineState::Shared, Some(line_data(7)), false)
+            .unwrap();
         assert_eq!(c.state(L0), Some(LineState::Shared));
-        assert_eq!(c.read_word(Addr(8)), 7);
+        assert_eq!(c.read_word(Addr(8)), Ok(7));
     }
 
     #[test]
     fn write_requires_exclusive() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false);
-        c.write_word(Addr(16), 99);
-        assert_eq!(c.read_word(Addr(16)), 99);
-        assert_eq!(c.read_word(Addr(8)), 0);
+        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false)
+            .unwrap();
+        c.write_word(Addr(16), 99).unwrap();
+        assert_eq!(c.read_word(Addr(16)), Ok(99));
+        assert_eq!(c.read_word(Addr(8)), Ok(0));
     }
 
     #[test]
-    #[should_panic(expected = "exclusive")]
-    fn write_to_shared_panics() {
+    fn write_to_shared_is_a_fault() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
-        c.write_word(Addr(0), 1);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false)
+            .unwrap();
+        assert_eq!(
+            c.write_word(Addr(0), 1),
+            Err(CacheFault::WriteNotExclusive {
+                line: L0,
+                state: LineState::Shared,
+            })
+        );
+        assert_eq!(
+            c.write_word(Addr(256), 1),
+            Err(CacheFault::WriteAbsent { line: L4 })
+        );
+        assert_eq!(
+            c.read_word(Addr(256)),
+            Err(CacheFault::ReadAbsent { line: L4 })
+        );
     }
 
     #[test]
     fn lru_eviction_prefers_older() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(1)), false);
+        c.fill(L0, LineState::Shared, Some(line_data(1)), false)
+            .unwrap();
         let _ = c.reserve(L4);
-        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false)
+            .unwrap();
         // Touch L0 so L4 becomes LRU.
         c.demand_touch(L0);
         match c.reserve(L8) {
@@ -475,10 +588,12 @@ mod tests {
     fn dirty_eviction_returns_data() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false);
-        c.write_word(Addr(0), 42);
+        c.fill(L0, LineState::Exclusive, Some(line_data(0)), false)
+            .unwrap();
+        c.write_word(Addr(0), 42).unwrap();
         let _ = c.reserve(L4);
-        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false)
+            .unwrap();
         match c.reserve(L8) {
             Ok(Evicted::Dirty { line, data }) => {
                 assert_eq!(line, L0);
@@ -501,7 +616,8 @@ mod tests {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0); // outstanding fill
         let _ = c.reserve(L4);
-        c.fill(L4, LineState::Shared, Some(line_data(2)), false);
+        c.fill(L4, LineState::Shared, Some(line_data(2)), false)
+            .unwrap();
         // Only L4 is evictable; the reserved L0 must survive.
         match c.reserve(L8) {
             Ok(Evicted::Clean { line }) => assert_eq!(line, L4),
@@ -514,7 +630,8 @@ mod tests {
     fn invalidate_and_downgrade() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Exclusive, Some(line_data(5)), false);
+        c.fill(L0, LineState::Exclusive, Some(line_data(5)), false)
+            .unwrap();
         let data = c.downgrade(L0).unwrap();
         assert_eq!(data[0], 5);
         assert_eq!(c.state(L0), Some(LineState::Shared));
@@ -528,7 +645,8 @@ mod tests {
     fn prefetched_flag_cleared_on_first_demand_touch() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(0)), true);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), true)
+            .unwrap();
         assert!(c.demand_touch(L0), "first touch reports useful prefetch");
         assert!(!c.demand_touch(L0), "second touch does not");
     }
@@ -537,22 +655,25 @@ mod tests {
     fn upgrade_fill_in_place() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(3)), false);
+        c.fill(L0, LineState::Shared, Some(line_data(3)), false)
+            .unwrap();
         // Upgrade ack without data.
-        c.fill(L0, LineState::Exclusive, None, false);
+        c.fill(L0, LineState::Exclusive, None, false).unwrap();
         assert_eq!(c.state(L0), Some(LineState::Exclusive));
-        assert_eq!(c.read_word(Addr(0)), 3);
+        assert_eq!(c.read_word(Addr(0)), Ok(3));
     }
 
     #[test]
     fn demote_to_reserved_keeps_slot() {
         let mut c = Cache::new(cfg());
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(3)), false);
-        c.demote_to_reserved(L0);
+        c.fill(L0, LineState::Shared, Some(line_data(3)), false)
+            .unwrap();
+        c.demote_to_reserved(L0).unwrap();
         assert!(c.is_reserved(L0));
-        c.fill(L0, LineState::Exclusive, Some(line_data(9)), false);
-        assert_eq!(c.read_word(Addr(0)), 9);
+        c.fill(L0, LineState::Exclusive, Some(line_data(9)), false)
+            .unwrap();
+        assert_eq!(c.read_word(Addr(0)), Ok(9));
     }
 
     #[test]
@@ -560,9 +681,10 @@ mod tests {
         let mut c = Cache::new(cfg());
         assert!(!c.update_word(Addr(0), 1), "absent line not updated");
         let _ = c.reserve(L0);
-        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false)
+            .unwrap();
         assert!(c.update_word(Addr(0), 11));
-        assert_eq!(c.read_word(Addr(0)), 11);
+        assert_eq!(c.read_word(Addr(0)), Ok(11));
     }
 
     #[test]
@@ -571,7 +693,8 @@ mod tests {
         assert_eq!(c.resident_lines(), 0);
         let _ = c.reserve(L0);
         assert_eq!(c.resident_lines(), 0, "reserved is not resident");
-        c.fill(L0, LineState::Shared, Some(line_data(0)), false);
+        c.fill(L0, LineState::Shared, Some(line_data(0)), false)
+            .unwrap();
         assert_eq!(c.resident_lines(), 1);
     }
 }

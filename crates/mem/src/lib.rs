@@ -53,7 +53,9 @@ pub mod mshr;
 pub mod stats;
 pub mod system;
 
+pub use cache::CacheFault;
 pub use config::{CacheConfig, MemConfig, MemTimings, Protocol};
 pub use msg::{DemandToken, IssueResult, MemEvent, PrefetchResult, ProbeResult, TxnId};
+pub use mshr::MshrFault;
 pub use stats::MemStats;
 pub use system::MemorySystem;

@@ -63,6 +63,35 @@ pub struct Mshr {
     pub pending: Vec<(DemandToken, PendingOp)>,
 }
 
+/// An MSHR-bookkeeping violation: allocation past capacity or a second
+/// transaction for a line that already has one outstanding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrFault {
+    /// Allocation attempted while every MSHR is occupied.
+    Overflow {
+        /// The line the rejected transaction targeted.
+        line: LineAddr,
+    },
+    /// The line already has an outstanding MSHR.
+    DuplicateLine {
+        /// The doubly-tracked line.
+        line: LineAddr,
+    },
+}
+
+impl std::fmt::Display for MshrFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MshrFault::Overflow { line } => {
+                write!(f, "MSHR file full when allocating for {line}")
+            }
+            MshrFault::DuplicateLine { line } => {
+                write!(f, "{line} already has an outstanding MSHR")
+            }
+        }
+    }
+}
+
 /// The per-processor file of MSHRs.
 #[derive(Debug, Clone, Default)]
 pub struct MshrFile {
@@ -111,15 +140,25 @@ impl MshrFile {
         self.entries.get_mut(&line.0)
     }
 
-    /// Allocates an entry.
-    ///
-    /// # Panics
-    /// If the file is full or the line already has an entry — callers must
-    /// check first (`is_full`, `get`).
-    pub fn allocate(&mut self, m: Mshr) {
-        assert!(!self.is_full(), "MSHR file full");
-        let prev = self.entries.insert(m.line.0, m);
-        assert!(prev.is_none(), "line already has an outstanding MSHR");
+    /// Allocates an entry. Errors if the file is full or the line already
+    /// has an entry — callers check first (`is_full`, `get`), so an error
+    /// here is a lockup-free-bookkeeping bug.
+    pub fn allocate(&mut self, m: Mshr) -> Result<(), MshrFault> {
+        if self.is_full() {
+            return Err(MshrFault::Overflow { line: m.line });
+        }
+        let line = m.line;
+        if self.entries.contains_key(&line.0) {
+            return Err(MshrFault::DuplicateLine { line });
+        }
+        self.entries.insert(line.0, m);
+        Ok(())
+    }
+
+    /// Configured capacity (the lockup-free depth).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.max
     }
 
     /// Removes and returns the entry for `line` (on completion).
@@ -153,7 +192,7 @@ mod tests {
     fn allocate_get_complete() {
         let mut f = MshrFile::new(2);
         assert!(f.is_empty());
-        f.allocate(entry(1, 10));
+        f.allocate(entry(1, 10)).unwrap();
         assert_eq!(f.get(LineAddr(1)).unwrap().txn, TxnId(10));
         assert_eq!(f.len(), 1);
         let done = f.complete(LineAddr(1)).unwrap();
@@ -164,30 +203,36 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let mut f = MshrFile::new(1);
-        f.allocate(entry(1, 10));
+        f.allocate(entry(1, 10)).unwrap();
         assert!(f.is_full());
+        assert_eq!(f.capacity(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "full")]
-    fn overflow_panics() {
+    fn overflow_is_a_fault() {
         let mut f = MshrFile::new(1);
-        f.allocate(entry(1, 10));
-        f.allocate(entry(2, 11));
+        f.allocate(entry(1, 10)).unwrap();
+        assert_eq!(
+            f.allocate(entry(2, 11)),
+            Err(MshrFault::Overflow { line: LineAddr(2) })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "already has")]
-    fn duplicate_line_panics() {
+    fn duplicate_line_is_a_fault() {
         let mut f = MshrFile::new(2);
-        f.allocate(entry(1, 10));
-        f.allocate(entry(1, 11));
+        f.allocate(entry(1, 10)).unwrap();
+        assert_eq!(
+            f.allocate(entry(1, 11)),
+            Err(MshrFault::DuplicateLine { line: LineAddr(1) })
+        );
+        assert_eq!(f.get(LineAddr(1)).unwrap().txn, TxnId(10), "kept original");
     }
 
     #[test]
     fn merge_flips_prefetch_only() {
         let mut f = MshrFile::new(2);
-        f.allocate(entry(1, 10));
+        f.allocate(entry(1, 10)).unwrap();
         let m = f.get_mut(LineAddr(1)).unwrap();
         assert!(m.prefetch_only);
         m.prefetch_only = false;

@@ -38,17 +38,18 @@
 //! affecting any timing the paper's experiments observe. Documented in
 //! DESIGN.md.
 
-use crate::cache::{Cache, Evicted};
+use crate::cache::{Cache, CacheFault, Evicted};
 use crate::config::{MemConfig, Protocol};
 use crate::directory::{DirState, Directory, ReqKind, Request};
 use crate::msg::{
     DemandToken, IssueResult, LineState, MemEvent, PrefetchResult, ProbeResult, ProcId, TxnId,
 };
-use crate::mshr::{Mshr, MshrFile, PendingOp};
+use crate::mshr::{Mshr, MshrFault, MshrFile, PendingOp};
 use crate::stats::MemStats;
+use mcsim_guard::{FaultKind, InvariantKind, SimError};
 use mcsim_isa::{Addr, LineAddr, RmwKind};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Messages delivered to a processor-side cache controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +119,15 @@ impl PartialOrd for Scheduled {
     }
 }
 
+/// An armed fault-injection plan: which perturbation, how many matching
+/// messages have been seen, and whether it has fired.
+#[derive(Debug, Clone, Copy)]
+struct FaultInjector {
+    kind: FaultKind,
+    seen: u64,
+    fired: bool,
+}
+
 /// The machine-wide coherent memory system.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -133,6 +143,10 @@ pub struct MemorySystem {
     outbox: Vec<Vec<MemEvent>>,
     bound_values: HashMap<DemandToken, u64>,
     stats: MemStats,
+    /// First protocol-contract failure detected this run (formerly panic
+    /// sites). Polled by the machine loop via [`Self::take_fault`].
+    fault: Option<SimError>,
+    injector: Option<FaultInjector>,
 }
 
 impl MemorySystem {
@@ -157,7 +171,65 @@ impl MemorySystem {
             next_seq: 0,
             next_token: 0,
             now: 0,
+            fault: None,
+            injector: None,
             cfg,
+        }
+    }
+
+    /// Arms a deterministic protocol fault: the `nth` matching message is
+    /// perturbed at delivery (see [`FaultKind`]). Used by the
+    /// fault-injection harness to mutation-test the invariant checker.
+    pub fn arm_fault(&mut self, kind: FaultKind) {
+        self.injector = Some(FaultInjector {
+            kind,
+            seen: 0,
+            fired: false,
+        });
+    }
+
+    /// Whether an armed fault has fired yet.
+    #[must_use]
+    pub fn fault_fired(&self) -> bool {
+        self.injector.is_some_and(|i| i.fired)
+    }
+
+    /// Takes the first protocol-contract failure detected so far, if any.
+    /// The machine loop polls this each cycle and converts it into a
+    /// structured run failure.
+    pub fn take_fault(&mut self) -> Option<SimError> {
+        self.fault.take()
+    }
+
+    /// Records a failure, keeping the first if several occur.
+    fn set_fault(&mut self, err: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(err);
+        }
+    }
+
+    fn fault_from_cache(&mut self, proc: ProcId, e: CacheFault) {
+        let err = SimError::protocol(self.now, Some(proc), Some(e.line().0), e.to_string());
+        self.set_fault(err);
+    }
+
+    fn fault_from_mshr(&mut self, proc: ProcId, e: MshrFault) {
+        let line = match e {
+            MshrFault::Overflow { line } | MshrFault::DuplicateLine { line } => line,
+        };
+        let err = SimError::protocol(self.now, Some(proc), Some(line.0), e.to_string());
+        self.set_fault(err);
+    }
+
+    /// Reads a cached word on a path the protocol guarantees present,
+    /// recording a fault (and yielding 0) if the guarantee is broken.
+    fn cache_read(&mut self, proc: ProcId, addr: Addr) -> u64 {
+        match self.caches[proc].read_word(addr) {
+            Ok(v) => v,
+            Err(e) => {
+                self.fault_from_cache(proc, e);
+                0
+            }
         }
     }
 
@@ -221,7 +293,9 @@ impl MemorySystem {
         } else {
             LineState::Shared
         };
-        self.caches[proc].fill(line, state, Some(data), false);
+        self.caches[proc]
+            .fill(line, state, Some(data), false)
+            .unwrap_or_else(|e| panic!("preload: {e}"));
         if exclusive {
             self.dir.set_state(line, DirState::Owned(proc));
         } else {
@@ -252,7 +326,9 @@ impl MemorySystem {
         let line = self.line_of(addr);
         if let DirState::Owned(p) = self.dir.state(line) {
             if self.caches[p].state(line) == Some(LineState::Exclusive) {
-                return self.caches[p].read_word(addr);
+                if let Ok(v) = self.caches[p].read_word(addr) {
+                    return v;
+                }
             }
         }
         self.dir.read_mem_word(addr)
@@ -284,8 +360,9 @@ impl MemorySystem {
         assert!(now >= self.now, "time went backwards");
         self.now = now;
         while self.sched.peek().is_some_and(|s| s.at <= now) {
-            let s = self.sched.pop().expect("peeked");
-            self.handle(s.action);
+            if let Some(s) = self.sched.pop() {
+                self.handle(s.action);
+            }
         }
         for _ in 0..self.cfg.dir_bandwidth {
             let Some(req) = self.dir.next_serviceable(now) else {
@@ -331,8 +408,7 @@ impl MemorySystem {
 
     /// Reads a word from the processor's cache (line must be present).
     /// Test/diagnostic helper; demand paths use bound values.
-    #[must_use]
-    pub fn read_word(&self, proc: ProcId, addr: Addr) -> u64 {
+    pub fn read_word(&self, proc: ProcId, addr: Addr) -> Result<u64, CacheFault> {
         self.caches[proc].read_word(addr)
     }
 
@@ -358,7 +434,7 @@ impl MemorySystem {
             if self.caches[proc].demand_touch(line) {
                 self.stats.prefetches_useful += 1;
             }
-            let v = self.caches[proc].read_word(addr);
+            let v = self.cache_read(proc, addr);
             self.bound_values.insert(token, v);
             self.stats.demand_hits += 1;
             return IssueResult::Hit { token };
@@ -428,19 +504,23 @@ impl MemorySystem {
     fn apply_op(&mut self, proc: ProcId, token: DemandToken, op: PendingOp) {
         match op {
             PendingOp::Read { addr } => {
-                let v = self.caches[proc].read_word(addr);
+                let v = self.cache_read(proc, addr);
                 self.bound_values.insert(token, v);
             }
             PendingOp::Write { addr, value } => {
-                self.caches[proc].write_word(addr, value);
+                if let Err(e) = self.caches[proc].write_word(addr, value) {
+                    self.fault_from_cache(proc, e);
+                }
             }
             PendingOp::Rmw {
                 addr,
                 kind,
                 operand,
             } => {
-                let old = self.caches[proc].read_word(addr);
-                self.caches[proc].write_word(addr, kind.new_value(old, operand));
+                let old = self.cache_read(proc, addr);
+                if let Err(e) = self.caches[proc].write_word(addr, kind.new_value(old, operand)) {
+                    self.fault_from_cache(proc, e);
+                }
                 self.bound_values.insert(token, old);
             }
         }
@@ -481,9 +561,12 @@ impl MemorySystem {
                 if self.mshrs[proc].is_full() {
                     return IssueResult::NoMshr;
                 }
-                self.caches[proc].pin(line);
+                if let Err(e) = self.caches[proc].pin(line) {
+                    self.fault_from_cache(proc, e);
+                    return IssueResult::NoMshr;
+                }
                 let txn = self.fresh_txn();
-                self.mshrs[proc].allocate(Mshr {
+                if let Err(e) = self.mshrs[proc].allocate(Mshr {
                     txn,
                     line,
                     exclusive: true,
@@ -491,7 +574,10 @@ impl MemorySystem {
                     is_upgrade: true,
                     issued_at: self.now,
                     pending: vec![(token, op)],
-                });
+                }) {
+                    self.fault_from_mshr(proc, e);
+                    return IssueResult::NoMshr;
+                }
                 self.send_request(proc, line, ReqKind::GetExclusive, txn, false);
                 self.stats.demand_misses += 1;
                 IssueResult::Miss { txn, token }
@@ -547,7 +633,7 @@ impl MemorySystem {
                 },
             ),
         };
-        self.mshrs[proc].allocate(Mshr {
+        if let Err(e) = self.mshrs[proc].allocate(Mshr {
             txn,
             line,
             exclusive: false,
@@ -555,7 +641,10 @@ impl MemorySystem {
             is_upgrade: true, // no reserved way: nothing fills
             issued_at: self.now,
             pending: vec![(token, op)],
-        });
+        }) {
+            self.fault_from_mshr(proc, e);
+            return IssueResult::NoMshr;
+        }
         self.send_request(proc, line, kind, txn, false);
         self.stats.demand_misses += 1;
         IssueResult::Miss { txn, token }
@@ -581,7 +670,7 @@ impl MemorySystem {
                 self.handle_eviction(proc, evicted);
                 let txn = self.fresh_txn();
                 let token = pending.as_ref().map(|(t, _)| *t);
-                self.mshrs[proc].allocate(Mshr {
+                if let Err(e) = self.mshrs[proc].allocate(Mshr {
                     txn,
                     line,
                     exclusive,
@@ -589,7 +678,10 @@ impl MemorySystem {
                     is_upgrade: false,
                     issued_at: self.now,
                     pending: pending.into_iter().collect(),
-                });
+                }) {
+                    self.fault_from_mshr(proc, e);
+                    return Err(IssueResult::NoMshr);
+                }
                 let kind = if exclusive {
                     ReqKind::GetExclusive
                 } else {
@@ -637,9 +729,13 @@ impl MemorySystem {
                     self.stats.prefetches_no_resource += 1;
                     return PrefetchResult::NoResource;
                 }
-                self.caches[proc].pin(line);
+                if let Err(e) = self.caches[proc].pin(line) {
+                    self.fault_from_cache(proc, e);
+                    self.stats.prefetches_no_resource += 1;
+                    return PrefetchResult::NoResource;
+                }
                 let txn = self.fresh_txn();
-                self.mshrs[proc].allocate(Mshr {
+                if let Err(e) = self.mshrs[proc].allocate(Mshr {
                     txn,
                     line,
                     exclusive: true,
@@ -647,7 +743,11 @@ impl MemorySystem {
                     is_upgrade: true,
                     issued_at: self.now,
                     pending: Vec::new(),
-                });
+                }) {
+                    self.fault_from_mshr(proc, e);
+                    self.stats.prefetches_no_resource += 1;
+                    return PrefetchResult::NoResource;
+                }
                 self.send_request(proc, line, ReqKind::GetExclusive, txn, true);
                 self.stats.prefetches_issued += 1;
                 return PrefetchResult::Issued { txn };
@@ -663,8 +763,156 @@ impl MemorySystem {
                 self.stats.prefetches_no_resource += 1;
                 PrefetchResult::NoResource
             }
-            other => unreachable!("launch_fill returned {other:?} for a prefetch"),
+            other => {
+                self.set_fault(SimError::protocol(
+                    self.now,
+                    Some(proc),
+                    Some(line.0),
+                    format!("launch_fill returned {other:?} for a prefetch"),
+                ));
+                self.stats.prefetches_no_resource += 1;
+                PrefetchResult::NoResource
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Guard layer: invariant checking and watchdog telemetry
+    // ------------------------------------------------------------------
+
+    /// Messages and requests currently in flight: scheduled deliveries
+    /// plus directory-queued requests. Zero means the network is silent.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.sched.len() + self.dir.queue_len()
+    }
+
+    /// A monotone activity counter that increases whenever the memory
+    /// system performs coherence work. The watchdog compares samples of it
+    /// to detect a silent window.
+    #[must_use]
+    pub fn activity(&self) -> u64 {
+        let s = &self.stats;
+        s.demand_hits
+            + s.demand_misses
+            + s.demand_merges
+            + s.prefetches_issued
+            + s.invalidations_delivered
+            + s.updates_delivered
+            + s.flushes
+            + s.writebacks
+            + s.replacements
+            + s.dir_transactions
+    }
+
+    /// Verifies the coherence/buffer invariant catalog at the current
+    /// cycle (see [`InvariantKind`]). Every checked invariant holds at
+    /// cycle boundaries even while transactions are in flight, so an `Err`
+    /// is a real protocol bug (or an injected fault). The first violation
+    /// found is returned, with a deterministic description.
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        // SWMR: collect every present copy, per line, across caches.
+        let mut present: BTreeMap<u64, Vec<ProcId>> = BTreeMap::new();
+        let mut exclusive: BTreeMap<u64, Vec<ProcId>> = BTreeMap::new();
+        for (p, cache) in self.caches.iter().enumerate() {
+            for (line, state, _pinned) in cache.present_lines() {
+                present.entry(line.0).or_default().push(p);
+                if state == LineState::Exclusive {
+                    exclusive.entry(line.0).or_default().push(p);
+                }
+            }
+        }
+        for (line, owners) in &exclusive {
+            if owners.len() > 1 {
+                return Err(SimError::invariant(
+                    self.now,
+                    Some(owners[0]),
+                    Some(*line),
+                    InvariantKind::SwmrMultipleExclusive,
+                    format!("procs {owners:?} all hold line {line:#x} exclusively"),
+                ));
+            }
+            let holders = &present[line];
+            if holders.len() > 1 {
+                return Err(SimError::invariant(
+                    self.now,
+                    Some(owners[0]),
+                    Some(*line),
+                    InvariantKind::SwmrExclusiveWithCopies,
+                    format!(
+                        "proc {} holds line {line:#x} exclusively while procs {holders:?} hold copies",
+                        owners[0]
+                    ),
+                ));
+            }
+        }
+        // Directory-owner agreement: a recorded owner must hold the line
+        // exclusively or have the transaction that will make it so still
+        // outstanding (clean grants and flush-and-invalidate both keep the
+        // requester's MSHR open until the fill lands).
+        for line in self.dir.known_lines() {
+            if let DirState::Owned(p) = self.dir.state(line) {
+                let ok = self.caches[p].state(line) == Some(LineState::Exclusive)
+                    || self.mshrs[p].get(line).is_some();
+                if !ok {
+                    return Err(SimError::invariant(
+                        self.now,
+                        Some(p),
+                        Some(line.0),
+                        InvariantKind::DirOwnerDisagrees,
+                        format!(
+                            "directory records proc {p} as owner of {line} but its cache neither \
+                             holds the line exclusively nor has a transaction outstanding"
+                        ),
+                    ));
+                }
+            }
+        }
+        // MSHR occupancy and way agreement.
+        for (p, file) in self.mshrs.iter().enumerate() {
+            if file.len() > file.capacity() {
+                return Err(SimError::invariant(
+                    self.now,
+                    Some(p),
+                    None,
+                    InvariantKind::MshrOverflow,
+                    format!(
+                        "{} entries in a {}-entry MSHR file",
+                        file.len(),
+                        file.capacity()
+                    ),
+                ));
+            }
+            let mut entries: Vec<&Mshr> = file.iter().collect();
+            entries.sort_by_key(|m| m.line.0);
+            for m in entries {
+                // Update-protocol transactions are wayless by design.
+                if m.is_upgrade && self.cfg.protocol == Protocol::Update {
+                    continue;
+                }
+                let has_way = if m.is_upgrade {
+                    // Pinned in place, or demoted to a reservation by a
+                    // racing invalidation.
+                    self.caches[p].state(m.line).is_some() || self.caches[p].is_reserved(m.line)
+                } else {
+                    self.caches[p].is_reserved(m.line)
+                };
+                if !has_way {
+                    return Err(SimError::invariant(
+                        self.now,
+                        Some(p),
+                        Some(m.line.0),
+                        InvariantKind::MshrMissingWay,
+                        format!(
+                            "outstanding {} MSHR for {} has no cache way to land in",
+                            if m.is_upgrade { "upgrade" } else { "fill" },
+                            m.line
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -720,7 +968,61 @@ impl MemorySystem {
         }
     }
 
+    /// Applies the armed fault-injection plan to a message about to be
+    /// delivered. Returns `None` when the fault consumes the message.
+    fn inject(&mut self, msg: ProcMsg) -> Option<ProcMsg> {
+        let Some(inj) = self.injector.as_mut() else {
+            return Some(msg);
+        };
+        if inj.fired {
+            return Some(msg);
+        }
+        match (inj.kind, &msg) {
+            (FaultKind::DropInvalidation { nth }, ProcMsg::Invalidate { .. }) => {
+                inj.seen += 1;
+                if inj.seen == nth {
+                    inj.fired = true;
+                    return None;
+                }
+            }
+            (
+                FaultKind::CorruptLineState { nth },
+                ProcMsg::Fill {
+                    exclusive: false, ..
+                },
+            ) => {
+                inj.seen += 1;
+                if inj.seen == nth {
+                    inj.fired = true;
+                    if let ProcMsg::Fill {
+                        txn, line, data, ..
+                    } = msg
+                    {
+                        return Some(ProcMsg::Fill {
+                            txn,
+                            line,
+                            exclusive: true,
+                            data,
+                        });
+                    }
+                }
+            }
+            (FaultKind::StuckMshr { nth }, ProcMsg::Fill { .. }) => {
+                inj.seen += 1;
+                if inj.seen == nth {
+                    inj.fired = true;
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        Some(msg)
+    }
+
     fn deliver(&mut self, proc: ProcId, msg: ProcMsg) {
+        let Some(msg) = self.inject(msg) else {
+            return;
+        };
         match msg {
             ProcMsg::Fill {
                 txn,
@@ -728,16 +1030,25 @@ impl MemorySystem {
                 exclusive,
                 data,
             } => {
-                let m = self.mshrs[proc]
-                    .complete(line)
-                    .expect("fill without an outstanding MSHR");
+                let Some(m) = self.mshrs[proc].complete(line) else {
+                    self.set_fault(SimError::protocol(
+                        self.now,
+                        Some(proc),
+                        Some(line.0),
+                        format!("fill for {line} without an outstanding MSHR"),
+                    ));
+                    return;
+                };
                 debug_assert_eq!(m.txn, txn);
                 let state = if exclusive {
                     LineState::Exclusive
                 } else {
                     LineState::Shared
                 };
-                self.caches[proc].fill(line, state, data, m.prefetch_only);
+                if let Err(e) = self.caches[proc].fill(line, state, data, m.prefetch_only) {
+                    self.fault_from_cache(proc, e);
+                    return;
+                }
                 // Apply the demand operations atomically with the grant.
                 for (token, op) in m.pending {
                     self.apply_op(proc, token, op);
@@ -749,9 +1060,15 @@ impl MemorySystem {
                 });
             }
             ProcMsg::WriteDone { txn, line, rmw } => {
-                let m = self.mshrs[proc]
-                    .complete(line)
-                    .expect("write-done without an outstanding MSHR");
+                let Some(m) = self.mshrs[proc].complete(line) else {
+                    self.set_fault(SimError::protocol(
+                        self.now,
+                        Some(proc),
+                        Some(line.0),
+                        format!("write-done for {line} without an outstanding MSHR"),
+                    ));
+                    return;
+                };
                 debug_assert_eq!(m.txn, txn);
                 if let Some((addr, old, new)) = rmw {
                     // Bind the RMW's old value to its token and refresh
@@ -777,7 +1094,10 @@ impl MemorySystem {
                     .is_some_and(|m| m.is_upgrade && m.exclusive);
                 if self.caches[proc].state(line).is_some() {
                     if has_upgrade {
-                        self.caches[proc].demote_to_reserved(line);
+                        if let Err(e) = self.caches[proc].demote_to_reserved(line) {
+                            self.fault_from_cache(proc, e);
+                            return;
+                        }
                     } else {
                         self.caches[proc].invalidate(line);
                     }
@@ -1361,7 +1681,7 @@ mod tests {
                 value: 9
             }]
         );
-        assert_eq!(s.read_word(1, A), 9);
+        assert_eq!(s.read_word(1, A), Ok(9));
         assert_eq!(s.read_coherent(A), 9);
     }
 
@@ -1599,6 +1919,164 @@ mod tests {
         }));
         assert!(r.is_err(), "conflicting preload must panic");
         let _ = s;
+    }
+
+    /// Ticks until `check_invariants` first fails, returning the cycle and
+    /// the error, or panics after `limit` clean cycles.
+    fn run_until_violation(s: &mut MemorySystem, limit: u64) -> (u64, SimError) {
+        let start = s.now();
+        for c in start..=start + limit {
+            s.tick(c);
+            if let Err(e) = s.check_invariants() {
+                return (c, e);
+            }
+        }
+        panic!("no invariant violation within {limit} cycles");
+    }
+
+    #[test]
+    fn clean_runs_satisfy_invariants_every_cycle() {
+        let mut s = sys(2);
+        s.write_initial(A, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = s.issue_demand_write(0, B, 5);
+        for c in 1..=400 {
+            s.tick(c);
+            let _ = s.drain_events(0);
+            let _ = s.drain_events(1);
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("cycle {c}: {e}"));
+        }
+        // Contended upgrade race, checked every cycle.
+        let _ = s.issue_demand_write(0, A, 10);
+        let _ = s.issue_demand_write(1, A, 20);
+        for c in 401..=1200 {
+            s.tick(c);
+            let _ = s.drain_events(0);
+            let _ = s.drain_events(1);
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("cycle {c}: {e}"));
+        }
+        assert!(s.take_fault().is_none());
+    }
+
+    #[test]
+    fn dropped_invalidation_caught_when_writer_fill_lands() {
+        // Proc 1 caches A shared; proc 0 then writes A. The invalidation
+        // to proc 1 is dropped, so when proc 0's exclusive fill lands at
+        // the usual 198-cycle contended latency, two copies coexist.
+        let mut s = sys(2);
+        s.write_initial(A, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 1, 200);
+        s.arm_fault(FaultKind::DropInvalidation { nth: 1 });
+        let t0 = s.now();
+        let _ = s.issue_demand_write(0, A, 9);
+        let (cycle, err) = run_until_violation(&mut s, 400);
+        assert_eq!(
+            cycle - t0,
+            198,
+            "first violation exactly when the tainted grant lands"
+        );
+        assert_eq!(
+            err.violated_invariant(),
+            Some(InvariantKind::SwmrExclusiveWithCopies)
+        );
+        assert_eq!(err.cycle, cycle);
+        assert_eq!(err.line, Some(s.line_of(A).0));
+        assert!(s.fault_fired());
+        // The stale copy is observable: proc 1 still reads the old value.
+        assert_eq!(s.read_word(1, A), Ok(1));
+    }
+
+    #[test]
+    fn corrupted_line_state_caught_at_fill_delivery() {
+        // Proc 1 holds A shared; proc 0's shared fill is corrupted into an
+        // exclusive grant. At delivery (100 cycles after issue) proc 0
+        // believes it owns a line proc 1 still shares.
+        let mut s = sys(2);
+        s.write_initial(A, 1);
+        s.tick(0);
+        let _ = s.issue_demand_read(1, A);
+        let _ = run_until_event(&mut s, 1, 200);
+        s.arm_fault(FaultKind::CorruptLineState { nth: 1 });
+        let t0 = s.now();
+        let _ = s.issue_demand_read(0, A);
+        let (cycle, err) = run_until_violation(&mut s, 400);
+        assert_eq!(cycle - t0, 100, "violation the cycle the fill delivers");
+        assert_eq!(
+            err.violated_invariant(),
+            Some(InvariantKind::SwmrExclusiveWithCopies)
+        );
+        assert_eq!(err.proc, Some(0));
+    }
+
+    #[test]
+    fn stuck_mshr_leaves_network_silent_with_entry_outstanding() {
+        // The dropped fill freezes the transaction: no invariant is
+        // violated (the reservation stays coherent), but the network goes
+        // silent with an MSHR outstanding — the watchdog's signature.
+        let mut s = sys(1);
+        s.tick(0);
+        s.arm_fault(FaultKind::StuckMshr { nth: 1 });
+        let IssueResult::Miss { token, .. } = s.issue_demand_read(0, A) else {
+            panic!()
+        };
+        for c in 1..=400 {
+            s.tick(c);
+            s.check_invariants().unwrap();
+            assert!(s.drain_events(0).is_empty(), "fill must never arrive");
+        }
+        assert!(s.fault_fired());
+        assert_eq!(s.in_flight(), 0, "network silent");
+        assert!(
+            matches!(s.probe(0, s.line_of(A)), ProbeResult::Pending { .. }),
+            "MSHR still open"
+        );
+        assert_eq!(s.take_bound_value(token), None);
+    }
+
+    #[test]
+    fn fill_without_mshr_reports_structured_fault() {
+        // Drive the private deliver path via a corrupted completion: a
+        // second fill for an already-completed line.
+        let mut s = sys(1);
+        s.tick(0);
+        let _ = s.issue_demand_read(0, A);
+        let _ = run_until_event(&mut s, 0, 200);
+        assert!(s.take_fault().is_none());
+        s.deliver(
+            0,
+            ProcMsg::Fill {
+                txn: TxnId(999),
+                line: s.line_of(A),
+                exclusive: false,
+                data: None,
+            },
+        );
+        let err = s.take_fault().expect("fault recorded");
+        assert!(err.to_string().contains("without an outstanding MSHR"));
+        assert_eq!(err.proc, Some(0));
+        assert!(s.take_fault().is_none(), "fault is taken once");
+    }
+
+    #[test]
+    fn activity_counter_is_monotone_and_settles() {
+        let mut s = sys(1);
+        s.tick(0);
+        let a0 = s.activity();
+        let _ = s.issue_demand_read(0, A);
+        assert!(s.activity() > a0, "issue counted as activity");
+        let _ = run_until_event(&mut s, 0, 200);
+        let a1 = s.activity();
+        let quiet_from = s.now() + 1;
+        for c in quiet_from..quiet_from + 50 {
+            s.tick(c);
+        }
+        assert_eq!(s.activity(), a1, "idle ticks add no activity");
+        assert_eq!(s.in_flight(), 0);
     }
 
     #[test]

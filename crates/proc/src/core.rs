@@ -48,6 +48,7 @@ use crate::specbuf::{SpecEntry, SpeculativeLoadBuffer};
 use crate::stats::ProcStats;
 use crate::storebuf::{ForwardResult, SbEntry, SbState, StoreBuffer};
 use mcsim_consistency::{AccessClass, Model, Outstanding};
+use mcsim_guard::{InvariantKind, SimError, StalledProc};
 use mcsim_isa::reg::RegFile;
 use mcsim_isa::{Addr, Instr, LineAddr, Program, RmwKind};
 use mcsim_mem::config::Protocol;
@@ -219,6 +220,9 @@ pub struct Processor {
     stats: ProcStats,
     trace: Vec<CoreEvent>,
     trace_enabled: bool,
+    /// First structured fault hit by this core (pipeline-bookkeeping
+    /// contract breaches that used to panic). The machine polls it.
+    fault: Option<SimError>,
 }
 
 impl Processor {
@@ -249,6 +253,7 @@ impl Processor {
             stats: ProcStats::default(),
             trace: Vec::new(),
             trace_enabled: false,
+            fault: None,
             cfg,
             model,
             program,
@@ -316,6 +321,118 @@ impl Processor {
 
     fn split_rmw(&self, mem: &MemorySystem) -> bool {
         self.cfg.techniques.speculative_loads && mem.config().protocol == Protocol::Invalidate
+    }
+
+    // ------------------------------------------------------------------
+    // Guard hooks: fault slot, invariants, watchdog telemetry.
+    // ------------------------------------------------------------------
+
+    /// Takes the first structured fault this core recorded, if any.
+    pub fn take_fault(&mut self) -> Option<SimError> {
+        self.fault.take()
+    }
+
+    /// Records a fault, keeping the first (earliest cycle wins).
+    fn set_fault(&mut self, e: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Current fetch program counter (watchdog telemetry: a moving PC
+    /// with no retirement distinguishes livelock from deadlock).
+    #[must_use]
+    pub fn fetch_pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reorder-buffer occupancy.
+    #[must_use]
+    pub fn rob_len(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Checks the core's buffer-ordering invariants: the reorder buffer,
+    /// store buffer, and speculative-load buffer must each hold entries in
+    /// strictly increasing program (sequence) order — retirement and the
+    /// associative hazard match both assume it.
+    pub fn check_invariants(&self, now: u64) -> Result<(), SimError> {
+        let mut prev: Option<Seq> = None;
+        for e in self.rob.iter() {
+            if prev.is_some_and(|p| p >= e.seq) {
+                return Err(SimError::invariant(
+                    now,
+                    Some(self.id),
+                    None,
+                    InvariantKind::RobOrder,
+                    format!("ROB entry seq {} follows seq {:?}", e.seq, prev),
+                ));
+            }
+            prev = Some(e.seq);
+        }
+        let mut prev: Option<Seq> = None;
+        for e in self.sb.iter() {
+            if prev.is_some_and(|p| p >= e.seq) {
+                return Err(SimError::invariant(
+                    now,
+                    Some(self.id),
+                    None,
+                    InvariantKind::StoreBufferOrder,
+                    format!("store-buffer entry seq {} follows seq {:?}", e.seq, prev),
+                ));
+            }
+            prev = Some(e.seq);
+        }
+        let mut prev: Option<Seq> = None;
+        for e in self.specbuf.iter() {
+            if prev.is_some_and(|p| p >= e.seq) {
+                return Err(SimError::invariant(
+                    now,
+                    Some(self.id),
+                    None,
+                    InvariantKind::SpecBufferOrder,
+                    format!("spec-buffer entry seq {} follows seq {:?}", e.seq, prev),
+                ));
+            }
+            prev = Some(e.seq);
+        }
+        Ok(())
+    }
+
+    /// A rendered snapshot of this core's architectural position and held
+    /// buffer entries, for the watchdog's stall report.
+    #[must_use]
+    pub fn stall_snapshot(&self) -> StalledProc {
+        let store_buffer = self
+            .sb
+            .iter()
+            .map(|e| format!("seq {} addr {:#x} {:?}", e.seq, e.addr.0, e.state))
+            .collect();
+        let spec_buffer = self
+            .specbuf
+            .iter()
+            .map(|e| {
+                format!(
+                    "seq {} line {:#x} acq={} done={} tag={:?}",
+                    e.seq, e.line.0, e.acq, e.done, e.store_tag
+                )
+            })
+            .collect();
+        let mut awaiting: Vec<(Seq, DemandToken)> =
+            self.awaiting.iter().map(|(t, s)| (*s, *t)).collect();
+        awaiting.sort_unstable_by_key(|(s, _)| *s);
+        StalledProc {
+            proc: self.id,
+            pc: u64::from(self.pc),
+            committed: self.stats.committed,
+            rob_entries: self.rob.len(),
+            store_buffer,
+            spec_buffer,
+            awaiting: awaiting
+                .into_iter()
+                .map(|(s, t)| format!("seq {s} token {t:?}"))
+                .collect(),
+        }
     }
 
     /// Runs one cycle. The memory system must already have ticked to
@@ -391,7 +508,15 @@ impl Processor {
                         for token in tokens {
                             let value = mem.take_bound_value(token);
                             if let Some(seq) = self.awaiting.remove(&token) {
-                                let value = value.expect("completed demand read must bind a value");
+                                let Some(value) = value else {
+                                    self.set_fault(SimError::protocol(
+                                        now,
+                                        Some(self.id),
+                                        None,
+                                        format!("completed demand read (seq {seq}) bound no value"),
+                                    ));
+                                    continue;
+                                };
                                 self.complete_load(now, seq, value);
                             }
                             // else: a squashed/reissued load's stale value
@@ -552,10 +677,15 @@ impl Processor {
     /// the store buffer, publishes an RMW's authoritative old value,
     /// retags the speculative-load buffer, and performs forwarded loads.
     fn complete_store(&mut self, now: u64, seq: Seq, rmw_old: Option<u64>) {
-        let entry = self
-            .sb
-            .complete(seq)
-            .expect("store completion for unknown entry");
+        let Some(entry) = self.sb.complete(seq) else {
+            self.set_fault(SimError::protocol(
+                now,
+                Some(self.id),
+                None,
+                format!("store completion for unknown store-buffer entry (seq {seq})"),
+            ));
+            return;
+        };
         if let Some(at) = entry.issued_at {
             self.stats.store_latency.record(now.saturating_sub(at));
         }
@@ -721,7 +851,7 @@ impl Processor {
             if !retire {
                 break;
             }
-            let e = self.rob.pop_head();
+            let Some(e) = self.rob.pop_head() else { break };
             self.stats.committed += 1;
             if e.instr.is_mem_read() {
                 self.stats.loads += 1;
@@ -808,7 +938,6 @@ impl Processor {
     // ------------------------------------------------------------------
 
     fn stage_dispatch(&mut self, now: u64, mem: &MemorySystem) {
-        let _ = now;
         while let Some(&seq) = self.addr_queue.front() {
             let Some(e) = self.rob.entry(seq) else {
                 self.addr_queue.pop_front();
@@ -922,7 +1051,19 @@ impl Processor {
                     }
                     self.sw_prefetches.push_back((seq, a, exclusive));
                 }
-                _ => unreachable!("address queue only holds memory ops"),
+                other => {
+                    // The fetch stage only queues memory ops; anything else
+                    // here is a dispatch-bookkeeping breach. Drop it and
+                    // report, rather than unwinding mid-cycle.
+                    self.set_fault(SimError::protocol(
+                        now,
+                        Some(self.id),
+                        None,
+                        format!("non-memory instruction {other:?} in the address queue"),
+                    ));
+                    self.addr_queue.pop_front();
+                    continue;
+                }
             }
             self.addr_queue.pop_front();
         }

@@ -268,12 +268,10 @@ impl Rob {
     }
 
     /// Retires the head entry: writes its result to the architectural
-    /// register file and releases its rename binding.
-    ///
-    /// # Panics
-    /// If the buffer is empty — callers gate on [`Rob::head`].
-    pub fn pop_head(&mut self) -> RobEntry {
-        let e = self.entries.pop_front().expect("pop from empty ROB");
+    /// register file and releases its rename binding. Returns `None` when
+    /// the buffer is empty.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        let e = self.entries.pop_front()?;
         if let Some(dst) = e.instr.dst() {
             if let Some(v) = e.value {
                 self.regfile.write(dst, v);
@@ -282,7 +280,7 @@ impl Rob {
                 self.rename[dst.index()] = None;
             }
         }
-        e
+        Some(e)
     }
 
     /// Squashes every entry with `seq >= from` (inclusive), rebuilding the
@@ -291,7 +289,9 @@ impl Rob {
     pub fn squash_from(&mut self, from: Seq) -> Vec<RobEntry> {
         let mut removed = Vec::new();
         while self.entries.back().is_some_and(|e| e.seq >= from) {
-            removed.push(self.entries.pop_back().expect("checked"));
+            if let Some(e) = self.entries.pop_back() {
+                removed.push(e);
+            }
         }
         removed.reverse();
         // Rebuild rename: youngest surviving producer per register.
@@ -378,7 +378,7 @@ mod tests {
         let mut rob = Rob::new(4);
         let s0 = rob.push(0, load(R1, 0x10)).unwrap();
         rob.set_value(s0, 42);
-        let e = rob.pop_head();
+        let e = rob.pop_head().expect("non-empty");
         assert_eq!(e.seq, s0);
         assert_eq!(rob.regfile().read(R1), 42);
         // Rename binding released: reads now hit the regfile.

@@ -162,12 +162,14 @@ impl SpeculativeLoadBuffer {
     /// done if acq. Returns the retired sequence numbers, oldest first.
     pub fn retire_ready(&mut self) -> Vec<Seq> {
         let mut out = Vec::new();
-        while let Some(head) = self.entries.front() {
-            let ready = head.store_tag.is_none() && (!head.acq || head.done);
-            if !ready {
-                break;
+        while self
+            .entries
+            .front()
+            .is_some_and(|h| h.store_tag.is_none() && (!h.acq || h.done))
+        {
+            if let Some(e) = self.entries.pop_front() {
+                out.push(e.seq);
             }
-            out.push(self.entries.pop_front().expect("checked").seq);
         }
         out
     }

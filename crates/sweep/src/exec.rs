@@ -8,9 +8,10 @@
 //! bit-identical no matter how many workers ran them or how the scheduler
 //! interleaved their claims — parallelism affects only wall-clock time.
 //!
-//! Failure isolation: a point that exhausts its cycle budget or panics
-//! (e.g. a generator rejecting its parameters) is recorded as a failed
-//! cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Panicked`]) and the
+//! Failure isolation: a point that exhausts its cycle budget, fails a
+//! guard check, or panics (e.g. a generator rejecting its parameters) is
+//! recorded as a failed cell ([`PointOutcome::TimedOut`] /
+//! [`PointOutcome::Failed`] / [`PointOutcome::Panicked`]) and the
 //! remaining points keep running.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -132,7 +133,9 @@ fn run_point(point: &SweepPoint) -> PointRecord {
         let mut machine = Machine::new(cfg, point.workload.programs(point.seed));
         point.workload.setup(&mut machine);
         let report = machine.run();
-        if report.timed_out {
+        if let Some(error) = report.failure {
+            PointOutcome::Failed { error }
+        } else if report.timed_out {
             PointOutcome::TimedOut {
                 cycles: report.cycles,
             }

@@ -15,9 +15,10 @@
 //!   prefetches, rollbacks, …); wall-clock telemetry lives separately in
 //!   [`SweepTiming`]. JSON and CSV writers plus the generalized
 //!   fixed-width/markdown table renderers sit on top.
-//! * A point that exhausts its cycle budget or panics becomes a failed
-//!   cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Panicked`]);
-//!   the rest of the grid keeps running.
+//! * A point that exhausts its cycle budget, fails a guard check
+//!   (invariant violation, protocol fault, watchdog), or panics becomes a
+//!   failed cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Failed`] /
+//!   [`PointOutcome::Panicked`]); the rest of the grid keeps running.
 //!
 //! The named grids of EXPERIMENTS.md live in [`builtin`]; the
 //! `mcsim-sweep` binary runs either a built-in or a spec file.

@@ -8,6 +8,7 @@
 
 use mcsim_consistency::Model;
 use mcsim_core::RunReport;
+use mcsim_guard::SimError;
 use mcsim_mem::Protocol;
 use mcsim_proc::Techniques;
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,13 @@ pub enum PointOutcome {
     TimedOut {
         /// The budget it was cut off at.
         cycles: u64,
+    },
+    /// The guard layer stopped the run with a structured diagnostic — a
+    /// protocol fault, an invariant violation, or the forward-progress
+    /// watchdog (recorded, not fatal to the sweep).
+    Failed {
+        /// The structured failure.
+        error: SimError,
     },
     /// Point panicked while building or running (recorded, not fatal).
     Panicked {
@@ -218,7 +226,7 @@ impl SweepResult {
 
     /// Renders rows as CSV: one line per point, stable flat columns,
     /// empty metric cells for failed points plus a textual `outcome`
-    /// column (`done` / `timeout` / `panic`).
+    /// column (`done` / `timeout` / `failed` / `panic`).
     #[must_use]
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
@@ -263,6 +271,9 @@ impl SweepResult {
                 }
                 PointOutcome::TimedOut { .. } => {
                     let _ = writeln!(out, "timeout{}", ",".repeat(13));
+                }
+                PointOutcome::Failed { .. } => {
+                    let _ = writeln!(out, "failed{}", ",".repeat(13));
                 }
                 PointOutcome::Panicked { .. } => {
                     let _ = writeln!(out, "panic{}", ",".repeat(13));
@@ -370,6 +381,21 @@ mod tests {
         let mut r = demo_result();
         assert!(r.failures().is_empty());
         r.rows[0].outcome = PointOutcome::TimedOut { cycles: 7 };
+        assert_eq!(r.failures().len(), 1);
+    }
+
+    #[test]
+    fn guard_failure_renders_as_failed_csv_row_and_round_trips() {
+        let mut r = demo_result();
+        r.rows[0].outcome = PointOutcome::Failed {
+            error: SimError::protocol(42, Some(1), Some(0x40), "dropped ack"),
+        };
+        let csv = r.to_csv();
+        assert!(csv.lines().nth(1).unwrap().contains(",failed,"));
+        let cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(csv.lines().nth(1).unwrap().split(',').count(), cols);
+        let back = SweepResult::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
         assert_eq!(r.failures().len(), 1);
     }
 }

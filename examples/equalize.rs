@@ -41,7 +41,11 @@ fn main() {
             &Techniques::ALL,
             || critical_sections(&params),
             |_| {},
-        );
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
         println!("{}", format_table(label, &rows));
         for t in Techniques::ALL {
             let spread = model_spread(&rows, t) * 100.0;

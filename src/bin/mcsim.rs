@@ -12,11 +12,12 @@
 //! Argument parsing is hand-rolled (the project's dependency policy keeps
 //! the tree to the sanctioned crates); see `mcsim --help`.
 
-use mcsim::sim::{format_table, run_matrix, Machine, MachineConfig};
+use mcsim::sim::{format_table, run_matrix, Machine, MachineConfig, RunReport, SimError};
 use mcsim_consistency::Model;
 use mcsim_isa::asm;
 use mcsim_isa::Program;
-use mcsim_proc::Techniques;
+use mcsim_proc::{CoreEvent, Techniques};
+use serde::Serialize;
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -35,12 +36,55 @@ OPTIONS (run):
     --protocol <invalidate|update>                         [default: invalidate]
     --miss <cycles>               clean-miss latency (even) [default: 100]
     --rob <n>                     reorder-buffer entries    [default: 64]
-    --max-cycles <n>              watchdog                  [default: 2000000]
+    --max-cycles <n>              cycle budget              [default: 2000000]
     --mem <addr>=<value>          initial memory word (repeatable, hex ok)
+    --invariants <n|off>          invariant-check period in cycles; 0 = auto
+                                  (every cycle in debug / strict builds,
+                                  every 1024 in release)    [default: 0]
+    --inject <fault>              inject a deterministic protocol fault:
+                                  drop-inv[:n], corrupt[:n], stuck-mshr[:n]
+    --dump-on-failure <path>      write a JSON crash snapshot (failure,
+                                  summary, trace tail) if the run fails;
+                                  implies tracing
     --trace                       print the event trace
     --timeline                    print a Gantt timeline of memory ops
     --json                        print the full report as JSON
 ";
+
+/// Trace events per processor kept in a `--dump-on-failure` snapshot.
+const DUMP_TRACE_TAIL: usize = 64;
+
+/// The `--dump-on-failure` crash snapshot: the structured failure plus
+/// enough context (summary, the tail of each core's event trace) to
+/// diagnose it without re-running. Owned because the offline serde
+/// stand-in cannot derive for generic (borrowing) types.
+#[derive(Serialize)]
+struct CrashDump {
+    summary: String,
+    cycles: u64,
+    timed_out: bool,
+    failure: Option<SimError>,
+    /// Last [`DUMP_TRACE_TAIL`] trace events of each core.
+    trace_tail: Vec<Vec<CoreEvent>>,
+}
+
+fn write_crash_dump(path: &str, report: &RunReport) -> Result<(), String> {
+    let dump = CrashDump {
+        summary: report.summary(),
+        cycles: report.cycles,
+        timed_out: report.timed_out,
+        failure: report.failure.clone(),
+        trace_tail: report
+            .traces
+            .iter()
+            .map(|t| t[t.len().saturating_sub(DUMP_TRACE_TAIL)..].to_vec())
+            .collect(),
+    };
+    let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("mcsim: crash snapshot written to {path}");
+    Ok(())
+}
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("mcsim: {msg}");
@@ -77,6 +121,7 @@ struct RunOpts {
     trace: bool,
     timeline: bool,
     json: bool,
+    dump_on_failure: Option<String>,
 }
 
 fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
@@ -87,6 +132,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         trace: false,
         timeline: false,
         json: false,
+        dump_on_failure: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +180,21 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                     parse_u64(val).ok_or("bad --mem value")?,
                 ));
             }
+            "--invariants" => {
+                let v = value("--invariants")?;
+                o.cfg.guard.invariant_period = if v == "off" {
+                    u64::MAX
+                } else {
+                    parse_u64(&v).ok_or("bad --invariants value")?
+                };
+            }
+            "--inject" => {
+                o.cfg.guard.fault = Some(value("--inject")?.parse()?);
+            }
+            "--dump-on-failure" => {
+                o.cfg.trace = true; // the snapshot wants the trace tail
+                o.dump_on_failure = Some(value("--dump-on-failure")?);
+            }
             "--trace" => {
                 o.cfg.trace = true;
                 o.trace = true;
@@ -159,6 +220,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         m.write_memory(*a, *v);
     }
     let report = m.run();
+    if report.failure.is_some() || report.timed_out {
+        if let Some(path) = &o.dump_on_failure {
+            write_crash_dump(path, &report)?;
+        }
+    }
     if o.json {
         println!(
             "{}",
@@ -193,6 +259,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .collect();
         println!("proc {p} registers: {}", regs.join(" "));
     }
+    if let Some(failure) = &report.failure {
+        return Err(failure.to_string());
+    }
     if report.timed_out {
         return Err(format!("timed out after {} cycles", report.cycles));
     }
@@ -213,7 +282,8 @@ fn cmd_matrix(args: &[String]) -> Result<(), String> {
                 m.write_memory(*a, *v);
             }
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{}",
         format_table("model x technique matrix (cycles)", &rows)

@@ -14,6 +14,8 @@
 //!   speculative-load buffer, hardware prefetch unit.
 //! * [`sim`] — the multiprocessor machine, statistics, event traces, the
 //!   experiment harness and the SC oracle.
+//! * [`guard`] — runtime verification: structured simulation errors,
+//!   invariant checks, the forward-progress watchdog, fault injection.
 //! * [`workloads`] — paper examples, litmus tests, and generators.
 //!
 //! ## Quickstart
@@ -34,6 +36,7 @@
 
 pub use mcsim_consistency as consistency;
 pub use mcsim_core as sim;
+pub use mcsim_guard as guard;
 pub use mcsim_isa as isa;
 pub use mcsim_mem as mem;
 pub use mcsim_proc as proc;

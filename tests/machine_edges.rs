@@ -3,6 +3,7 @@
 
 use mcsim::prelude::*;
 use mcsim::sim::MachineConfig as Cfg;
+use mcsim::sim::{FaultKind, InvariantKind, StallClass};
 use mcsim::workloads::paper;
 use mcsim_consistency::Model;
 use mcsim_isa::reg::{R1, R2, R3};
@@ -157,4 +158,184 @@ fn wider_directory_bandwidth_helps_contended_startup() {
         n.cycles
     );
     assert!(w.mem.dir_queue_cycles < n.mem.dir_queue_cycles);
+}
+
+// ---------------------------------------------------------------------
+// Guard layer: watchdog classification and fault injection.
+// ---------------------------------------------------------------------
+
+/// A program that reads `addr` after roughly `delay` cycles of dependent
+/// unit-latency ALU work — long enough for another processor's
+/// 100-cycle cold miss on the same line to complete first.
+fn delayed_load(delay: usize, addr: u64) -> Program {
+    let mut b = ProgramBuilder::new("delayed-load");
+    for _ in 0..delay {
+        b = b.alu(R3, AluOp::Add, R3, 1u64);
+    }
+    b.load(R1, addr).halt().build().unwrap()
+}
+
+/// Same, but writing `addr`.
+fn delayed_store(delay: usize, addr: u64) -> Program {
+    let mut b = ProgramBuilder::new("delayed-store");
+    for _ in 0..delay {
+        b = b.alu(R3, AluOp::Add, R3, 1u64);
+    }
+    b.store(addr, 7u64).halt().build().unwrap()
+}
+
+#[test]
+fn stuck_mshr_is_classified_as_deadlock_across_models_and_techniques() {
+    // A dropped fill freezes the only load: no commits, no coherence
+    // traffic, nothing in flight. The watchdog must call that a
+    // deadlock — under every model and technique combination — and name
+    // the stalled processor.
+    for model in Model::ALL_EXTENDED {
+        for t in Techniques::ALL {
+            let mut cfg = Cfg::paper_with(model, t);
+            cfg.guard.fault = Some(FaultKind::StuckMshr { nth: 1 });
+            cfg.guard.watchdog_window = 1_000;
+            cfg.max_cycles = 50_000;
+            let prog = ProgramBuilder::new("stuck")
+                .load(R1, 0x4000u64)
+                .halt()
+                .build()
+                .unwrap();
+            let r = Machine::new(cfg, vec![prog]).run();
+            let failure = r
+                .failure
+                .as_ref()
+                .unwrap_or_else(|| panic!("{model}/{}: watchdog must fire", t.label()));
+            let stall = failure.stall().unwrap_or_else(|| {
+                panic!("{model}/{}: NoProgress expected, got {failure}", t.label())
+            });
+            assert_eq!(stall.class, StallClass::Deadlock, "{model}/{}", t.label());
+            assert_eq!(
+                failure.cycle % 1_000,
+                0,
+                "fires on a window edge: {}",
+                failure.cycle
+            );
+            assert_eq!(r.cycles, failure.cycle, "report stops at the failure");
+            assert_eq!(stall.stalled.len(), 1, "one processor is stuck");
+            assert_eq!(stall.stalled[0].proc, 0);
+            assert!(
+                !stall.stalled[0].awaiting.is_empty(),
+                "{model}/{}: the frozen demand read is named",
+                t.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn progressing_spin_is_a_plain_timeout_not_a_watchdog_failure() {
+    // A spin loop on a flag nobody sets retires a load and a branch
+    // every iteration: slow, but progressing. The watchdog must stay
+    // quiet under every model and technique combination, leaving the
+    // plain max_cycles timeout.
+    for model in Model::ALL_EXTENDED {
+        for t in Techniques::ALL {
+            let mut cfg = Cfg::paper_with(model, t);
+            cfg.guard.watchdog_window = 1_000;
+            cfg.max_cycles = 6_000;
+            let prog = ProgramBuilder::new("spin")
+                .spin_until(0x4000, 1, R2)
+                .halt()
+                .build()
+                .unwrap();
+            let r = Machine::new(cfg, vec![prog]).run();
+            assert!(r.timed_out, "{model}/{}", t.label());
+            assert_eq!(r.cycles, 6_000, "{model}/{}", t.label());
+            assert!(
+                r.failure.is_none(),
+                "{model}/{}: progressing spin misclassified: {:?}",
+                model,
+                r.failure
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_invalidation_is_caught_as_swmr_violation() {
+    // Proc 1 caches the line shared; proc 0 writes it ~250 cycles later.
+    // The (dropped) invalidation leaves proc 1's stale copy coexisting
+    // with proc 0's exclusive grant — SWMR broken the cycle it lands.
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+    cfg.guard.fault = Some(FaultKind::DropInvalidation { nth: 1 });
+    cfg.guard.invariant_period = 1;
+    let programs = vec![delayed_store(250, 0x4000), delayed_load(0, 0x4000)];
+    let mut m = Machine::new(cfg, programs);
+    m.write_memory(0x4000u64, 1);
+    let r = m.run();
+    let failure = r.failure.expect("dropped invalidation must be caught");
+    assert_eq!(
+        failure.violated_invariant(),
+        Some(InvariantKind::SwmrExclusiveWithCopies),
+        "{failure}"
+    );
+    assert_eq!(failure.cycle, r.cycles);
+    assert!(
+        failure.cycle > 250,
+        "violation lands after the writer's delayed store: {}",
+        failure.cycle
+    );
+}
+
+#[test]
+fn corrupted_line_state_is_caught_as_swmr_violation() {
+    // The first shared fill (proc 1's cold read) is corrupted into an
+    // exclusive grant. The moment proc 0's own shared fill lands, two
+    // copies coexist with one marked exclusive.
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+    cfg.guard.fault = Some(FaultKind::CorruptLineState { nth: 1 });
+    cfg.guard.invariant_period = 1;
+    let programs = vec![delayed_load(250, 0x4000), delayed_load(0, 0x4000)];
+    let mut m = Machine::new(cfg, programs);
+    m.write_memory(0x4000u64, 1);
+    let r = m.run();
+    let failure = r.failure.expect("corrupted line state must be caught");
+    assert_eq!(
+        failure.violated_invariant(),
+        Some(InvariantKind::SwmrExclusiveWithCopies),
+        "{failure}"
+    );
+    assert_eq!(failure.cycle, r.cycles);
+}
+
+#[test]
+fn every_first_fault_class_is_detected() {
+    // The guard's promise in one sweep: each canonical fault produces a
+    // structured failure (never a silent wrong answer, never a panic).
+    for kind in FaultKind::ALL_FIRST {
+        let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+        cfg.guard.fault = Some(kind);
+        cfg.guard.invariant_period = 1;
+        cfg.guard.watchdog_window = 1_000;
+        cfg.max_cycles = 50_000;
+        // Each fault needs its canonical victim: an invalidation to
+        // drop requires a later writer; a corrupted exclusive grant is
+        // only a violation while a second copy coexists (a writer would
+        // first invalidate it).
+        let second = match kind {
+            FaultKind::CorruptLineState { .. } => delayed_load(250, 0x4000),
+            _ => delayed_store(250, 0x4000),
+        };
+        let programs = vec![second, delayed_load(0, 0x4000)];
+        let mut m = Machine::new(cfg, programs);
+        m.write_memory(0x4000u64, 1);
+        let r = m.run();
+        let failure = r
+            .failure
+            .unwrap_or_else(|| panic!("fault {kind} escaped detection"));
+        match kind {
+            FaultKind::DropInvalidation { .. } | FaultKind::CorruptLineState { .. } => {
+                assert!(failure.violated_invariant().is_some(), "{kind}: {failure}");
+            }
+            FaultKind::StuckMshr { .. } => {
+                assert!(failure.stall().is_some(), "{kind}: {failure}");
+            }
+        }
+    }
 }
