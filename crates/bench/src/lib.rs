@@ -9,6 +9,7 @@
 //! | `fig2_example2` | Figure 2 + §3.3/§4.1 consumer cycle counts |
 //! | `fig34_organization` | Figures 3–4 — machine organization dump |
 //! | `fig5_trace` | Figure 5 — the event walk-through |
+//! | `breakdown` | §5 — per-cause execution-time breakdowns (CPI stacks) |
 //! | `equalization` | §5 — model equalization on synthetic workloads |
 //! | `speculation_violations` | §5 — rollback rates under contention |
 //! | `prefetch_limits` | §3.3 — where prefetch fails and speculation wins |

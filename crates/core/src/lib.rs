@@ -33,4 +33,4 @@ pub use mcsim_guard::{
 };
 pub use oracle::{sc_outcomes, OracleConfig, Outcome};
 pub use report::RunReport;
-pub use trace::render_timeline;
+pub use trace::{render_breakdown, render_timeline};

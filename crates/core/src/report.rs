@@ -58,8 +58,15 @@ impl RunReport {
         } else {
             ""
         };
+        // A run with no demand accesses has no hit rate — "0.0%" would be
+        // indistinguishable from a true all-miss run.
+        let hit_rate = if self.mem.demand_accesses() == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.1}%", self.mem.hit_rate() * 100.0)
+        };
         format!(
-            "{} cycles{} | {} instrs | {} spec loads, {} rollbacks, {} reissues | {} prefetches ({} useful) | hit rate {:.1}%",
+            "{} cycles{} | {} instrs | {} spec loads, {} rollbacks, {} reissues | {} prefetches ({} useful) | hit rate {}",
             self.cycles,
             status,
             self.total.committed,
@@ -68,7 +75,7 @@ impl RunReport {
             self.total.reissues,
             self.mem.prefetches_issued,
             self.mem.prefetches_useful,
-            self.mem.hit_rate() * 100.0,
+            hit_rate,
         )
     }
 }
@@ -97,6 +104,30 @@ mod tests {
         assert!(s.contains("103 cycles"));
         assert!(s.contains("6 instrs"));
         assert!(!s.contains("TIMED OUT"));
+        assert!(
+            s.contains("hit rate n/a"),
+            "no demand accesses must not read as 0.0%: {s}"
+        );
+    }
+
+    #[test]
+    fn summary_reports_real_hit_rate_when_accesses_exist() {
+        let r = RunReport {
+            cycles: 10,
+            timed_out: false,
+            failure: None,
+            per_proc: vec![],
+            total: ProcStats::default(),
+            mem: MemStats {
+                demand_hits: 1,
+                demand_misses: 3,
+                ..Default::default()
+            },
+            regfiles: vec![],
+            traces: vec![],
+            memory: BTreeMap::new(),
+        };
+        assert!(r.summary().contains("hit rate 25.0%"), "{}", r.summary());
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Text timeline rendering for event traces.
+//! Text timeline and breakdown rendering.
 //!
-//! Turns the per-core [`CoreEvent`] streams into a Gantt-style view: one
-//! lane per memory operation, bars spanning issue → perform, with
-//! markers for prefetches, rollbacks and reissues. This is how the
-//! paper's pipelining arguments become *visible*: conventional SC shows
-//! a staircase; the techniques show overlapped bars.
+//! [`render_timeline`] turns the per-core [`CoreEvent`] streams into a
+//! Gantt-style view: one lane per memory operation, bars spanning
+//! issue → perform, with markers for prefetches, rollbacks and reissues.
+//! This is how the paper's pipelining arguments become *visible*:
+//! conventional SC shows a staircase; the techniques show overlapped
+//! bars.
+//!
+//! [`render_breakdown`] turns the per-core [`CycleBreakdown`] counters
+//! into the paper's Section 5 stacked execution-time bars: each core's
+//! cycles split into busy time and per-cause stall components.
 
+use crate::report::RunReport;
 use mcsim_proc::core::{CoreEvent, EventKind, IssueOutcome};
+use mcsim_proc::CycleBreakdown;
 use std::fmt::Write as _;
 
 /// One rendered operation.
@@ -124,6 +131,101 @@ pub fn render_timeline(traces: &[Vec<CoreEvent>], width: usize) -> String {
     out
 }
 
+/// The stacked-bar glyph for each breakdown component, in
+/// [`CycleBreakdown::components`] order.
+const BREAKDOWN_GLYPHS: [char; 6] = ['#', 'R', 'W', 'A', '!', '.'];
+
+fn breakdown_bar(b: &CycleBreakdown, scale_to: u64, width: usize) -> String {
+    let mut bar = String::new();
+    if scale_to == 0 {
+        return bar;
+    }
+    // Largest-remainder apportionment of `width * total / scale_to`
+    // columns over the components, so the bar length reflects this core's
+    // share of the longest core's time and every nonzero component gets
+    // at least its rounded share.
+    let cols = |c: u64| (c as f64 / scale_to as f64) * width as f64;
+    let mut shares: Vec<(usize, f64)> = b
+        .components()
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, c))| (i, cols(c)))
+        .collect();
+    let mut widths: Vec<usize> = shares.iter().map(|&(_, s)| s as usize).collect();
+    let target = cols(b.total()).round() as usize;
+    let assigned: usize = widths.iter().sum();
+    shares.sort_by(|a, b| {
+        (b.1 - b.1.floor())
+            .partial_cmp(&(a.1 - a.1.floor()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &(i, _) in shares.iter().take(target.saturating_sub(assigned)) {
+        widths[i] += 1;
+    }
+    for (i, w) in widths.iter().enumerate() {
+        for _ in 0..*w {
+            bar.push(BREAKDOWN_GLYPHS[i]);
+        }
+    }
+    bar
+}
+
+/// Renders the paper-style (Section 5) execution-time breakdown of a run:
+/// one stacked bar per core — busy time vs. read-miss, write, acquire,
+/// rollback, and fetch stalls — scaled so the slowest core spans `width`
+/// columns, followed by the merged machine-wide percentages and the
+/// cycle-accounting invariant verdict (components must sum to each
+/// core's accounted cycles).
+#[must_use]
+pub fn render_breakdown(report: &RunReport, width: usize) -> String {
+    let width = width.max(20);
+    let mut out = String::new();
+    let scale_to = report
+        .per_proc
+        .iter()
+        .map(|s| s.breakdown.total())
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(out, "execution-time breakdown (per-cause cycles):");
+    for (i, s) in report.per_proc.iter().enumerate() {
+        let b = &s.breakdown;
+        let _ = writeln!(
+            out,
+            "p{i} {:>8} |{}",
+            b.total(),
+            breakdown_bar(b, scale_to, width)
+        );
+    }
+    let total = &report.total.breakdown;
+    let grand = total.total().max(1);
+    let pct: Vec<String> = total
+        .components()
+        .iter()
+        .zip(BREAKDOWN_GLYPHS)
+        .map(|(&(label, c), g)| format!("{g} {label} {:.1}%", c as f64 * 100.0 / grand as f64))
+        .collect();
+    let _ = writeln!(out, "merged: {}", pct.join("  "));
+    // The machine checks this as a hard invariant (CycleBreakdownSum);
+    // restate the verdict here so a smoke run can grep for it. Cut-off
+    // runs (timeout/failure) have cores with no meaningful `halted_at`,
+    // so the per-core identity is only assertable on clean runs.
+    let clean = !report.timed_out && report.failure.is_none();
+    let holds = report
+        .per_proc
+        .iter()
+        .all(|s| s.breakdown.total() == s.halted_at);
+    if clean && holds {
+        let _ = writeln!(
+            out,
+            "breakdown invariant: components sum to total cycles on all {} cores",
+            report.per_proc.len()
+        );
+    } else if clean {
+        let _ = writeln!(out, "breakdown invariant VIOLATED: see per-core sums above");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +264,44 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         assert!(render_timeline(&[Vec::new()], 60).contains("no timed events"));
+    }
+
+    #[test]
+    fn breakdown_renders_bars_and_invariant_line() {
+        let prog = ProgramBuilder::new("t")
+            .store(0x1000u64, 1u64)
+            .store(0x1080u64, 2u64)
+            .halt()
+            .build()
+            .unwrap();
+        let cfg = MachineConfig::paper_with(Model::Sc, Techniques::NONE);
+        let report = Machine::new(cfg, vec![prog]).run();
+        assert!(!report.timed_out);
+        let s = render_breakdown(&report, 60);
+        assert!(s.contains("execution-time breakdown"), "{s}");
+        assert!(s.contains("p0"), "{s}");
+        assert!(s.contains("merged:"), "{s}");
+        assert!(
+            s.contains("breakdown invariant: components sum to total cycles on all 1 cores"),
+            "{s}"
+        );
+        // SC base pays write stalls; they must dominate this store-only
+        // program's bar.
+        assert!(s.contains('W'), "write stall glyph expected: {s}");
+    }
+
+    #[test]
+    fn breakdown_bar_widths_follow_shares() {
+        let b = CycleBreakdown {
+            busy: 25,
+            write_stall: 75,
+            ..Default::default()
+        };
+        let bar = breakdown_bar(&b, 100, 40);
+        assert_eq!(bar.chars().filter(|&c| c == '#').count(), 10, "{bar}");
+        assert_eq!(bar.chars().filter(|&c| c == 'W').count(), 30, "{bar}");
+        // A shorter core's bar scales to its share of the longest.
+        assert_eq!(breakdown_bar(&b, 200, 40).chars().count(), 20);
+        assert!(breakdown_bar(&b, 0, 40).is_empty());
     }
 }

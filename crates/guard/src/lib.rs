@@ -25,6 +25,71 @@ use std::str::FromStr;
 /// A processor index (mirrors `mcsim_mem::ProcId` without the dependency).
 pub type ProcId = usize;
 
+/// A power-of-two-bucketed latency histogram: bucket `i` counts samples
+/// with `2^i <= latency < 2^(i+1)` (bucket 0 also takes latency 0 and 1,
+/// so its reported lower bound is 0). Cheap, `Copy`, and good enough to
+/// see the paper's effects — hit/miss bimodality, and how the techniques
+/// move mass from the serialized tail into the overlapped head.
+///
+/// Lives in the guard crate (the leaf data-types layer) so both the
+/// processor and the memory system can attribute latencies per cause
+/// without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: [u64; 20],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; 20] }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
+        self.buckets[b.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Samples at or below `latency` (bucket-granular upper bound).
+    #[must_use]
+    pub fn count_up_to(&self, latency: u64) -> u64 {
+        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
+        self.buckets[..=b.min(self.buckets.len() - 1)].iter().sum()
+    }
+
+    /// `(lower_bound, count)` for each non-empty bucket. Bucket 0's lower
+    /// bound is 0: `record` routes latency-0 samples (forwarded or merged
+    /// accesses) into it alongside latency 1.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Merges another histogram.
+    pub fn merge(&mut self, o: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
 /// One invariant of the machine's operational model. The checker reports
 /// the first cycle at which any of these fails to hold.
 ///
@@ -55,6 +120,9 @@ pub enum InvariantKind {
     SpecBufferOrder,
     /// Reorder-buffer entries are out of sequence order.
     RobOrder,
+    /// A core's per-cause cycle breakdown does not sum to the cycles it
+    /// has been accounted for (one classified bucket per tick).
+    CycleBreakdownSum,
 }
 
 impl fmt::Display for InvariantKind {
@@ -68,6 +136,9 @@ impl fmt::Display for InvariantKind {
             InvariantKind::StoreBufferOrder => "store buffer out of program order",
             InvariantKind::SpecBufferOrder => "speculative-load buffer out of program order",
             InvariantKind::RobOrder => "reorder buffer out of sequence order",
+            InvariantKind::CycleBreakdownSum => {
+                "cycle breakdown components do not sum to total cycles"
+            }
         };
         f.write_str(s)
     }
@@ -523,6 +594,33 @@ mod tests {
             })
             .collect();
         assert_eq!(classes.len(), 3, "all classes reachable: {a:?}");
+    }
+
+    #[test]
+    fn histogram_bucket_zero_lower_bound_is_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(0); // forwarded/merged accesses land here
+        h.record(1);
+        let nz: Vec<_> = h.nonzero().collect();
+        assert_eq!(nz, vec![(0, 2)], "latency 0 and 1 share bucket 0: {nz:?}");
+    }
+
+    #[test]
+    fn histogram_count_up_to_boundaries() {
+        let mut h = LatencyHistogram::new();
+        for l in [0, 1, 2, 3, 4, 7, 8] {
+            h.record(l);
+        }
+        // Bucket-granular: an upper bound anywhere inside a bucket
+        // includes the whole bucket.
+        assert_eq!(h.count_up_to(0), 2, "latency 0 counts bucket 0 (0..=1)");
+        assert_eq!(h.count_up_to(1), 2);
+        assert_eq!(h.count_up_to(2), 4, "bucket 1 is 2..=3");
+        assert_eq!(h.count_up_to(3), 4);
+        assert_eq!(h.count_up_to(4), 6, "bucket 2 is 4..=7");
+        assert_eq!(h.count_up_to(7), 6);
+        assert_eq!(h.count_up_to(8), 7);
+        assert_eq!(h.count_up_to(u64::MAX), h.count());
     }
 
     #[test]

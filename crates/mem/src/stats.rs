@@ -1,5 +1,6 @@
 //! Memory-system statistics.
 
+use mcsim_guard::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Counters kept by the memory system across a run. All counters are
@@ -42,6 +43,19 @@ pub struct MemStats {
     /// Total cycles requests spent queued at the directory beyond their
     /// arrival cycle (contention measure).
     pub dir_queue_cycles: u64,
+    /// Issue-to-completion latency of transactions that carried at least
+    /// one demand read (and no write/RMW) — the read-miss side of the
+    /// per-cause breakdown.
+    pub read_txn_latency: LatencyHistogram,
+    /// Issue-to-completion latency of transactions that carried a demand
+    /// write (write misses and ownership upgrades).
+    pub write_txn_latency: LatencyHistogram,
+    /// Issue-to-completion latency of transactions that carried an atomic
+    /// read-modify-write (lock acquisition cost).
+    pub rmw_txn_latency: LatencyHistogram,
+    /// Issue-to-completion latency of transactions that completed with no
+    /// demand reference merged in (pure prefetches).
+    pub prefetch_txn_latency: LatencyHistogram,
 }
 
 impl MemStats {

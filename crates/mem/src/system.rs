@@ -1019,6 +1019,25 @@ impl MemorySystem {
         Some(msg)
     }
 
+    /// Attributes a completed transaction's issue-to-completion latency to
+    /// its most demanding merged operation: RMW > write > read; a
+    /// transaction that completed with nothing merged in was a pure
+    /// prefetch.
+    fn record_txn_latency(&mut self, m: &Mshr) {
+        let latency = self.now.saturating_sub(m.issued_at);
+        let ops = |f: fn(&PendingOp) -> bool| m.pending.iter().any(|(_, op)| f(op));
+        let h = if ops(|op| matches!(op, PendingOp::Rmw { .. })) {
+            &mut self.stats.rmw_txn_latency
+        } else if ops(|op| matches!(op, PendingOp::Write { .. })) {
+            &mut self.stats.write_txn_latency
+        } else if !m.pending.is_empty() {
+            &mut self.stats.read_txn_latency
+        } else {
+            &mut self.stats.prefetch_txn_latency
+        };
+        h.record(latency);
+    }
+
     fn deliver(&mut self, proc: ProcId, msg: ProcMsg) {
         let Some(msg) = self.inject(msg) else {
             return;
@@ -1040,6 +1059,7 @@ impl MemorySystem {
                     return;
                 };
                 debug_assert_eq!(m.txn, txn);
+                self.record_txn_latency(&m);
                 let state = if exclusive {
                     LineState::Exclusive
                 } else {
@@ -1070,6 +1090,7 @@ impl MemorySystem {
                     return;
                 };
                 debug_assert_eq!(m.txn, txn);
+                self.record_txn_latency(&m);
                 if let Some((addr, old, new)) = rmw {
                     // Bind the RMW's old value to its token and refresh
                     // the local copy.

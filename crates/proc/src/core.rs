@@ -217,6 +217,9 @@ pub struct Processor {
     /// Software prefetch hints awaiting a free port cycle (§6).
     sw_prefetches: VecDeque<(Seq, Addr, bool)>,
     port_used: bool,
+    /// Whether this cycle's port consumer was a prefetch (the stall
+    /// counter must still see waiting demand work behind it).
+    port_used_by_prefetch: bool,
     stats: ProcStats,
     trace: Vec<CoreEvent>,
     trace_enabled: bool,
@@ -250,6 +253,7 @@ impl Processor {
             forward_waiters: Vec::new(),
             sw_prefetches: VecDeque::new(),
             port_used: false,
+            port_used_by_prefetch: false,
             stats: ProcStats::default(),
             trace: Vec::new(),
             trace_enabled: false,
@@ -352,11 +356,30 @@ impl Processor {
         self.rob.len()
     }
 
-    /// Checks the core's buffer-ordering invariants: the reorder buffer,
+    /// Checks the core's buffer-ordering invariants — the reorder buffer,
     /// store buffer, and speculative-load buffer must each hold entries in
-    /// strictly increasing program (sequence) order — retirement and the
-    /// associative hazard match both assume it.
+    /// strictly increasing program (sequence) order (retirement and the
+    /// associative hazard match both assume it) — and the cycle-accounting
+    /// identity: breakdown components sum to exactly the cycles this core
+    /// has been accounted for (`halted_at` once halted, `now` while live).
     pub fn check_invariants(&self, now: u64) -> Result<(), SimError> {
+        let accounted = if self.halted {
+            self.stats.halted_at
+        } else {
+            now
+        };
+        let summed = self.stats.breakdown.total();
+        if summed != accounted {
+            return Err(SimError::invariant(
+                now,
+                Some(self.id),
+                None,
+                InvariantKind::CycleBreakdownSum,
+                format!(
+                    "breakdown components sum to {summed}, expected {accounted} accounted cycles"
+                ),
+            ));
+        }
         let mut prev: Option<Seq> = None;
         for e in self.rob.iter() {
             if prev.is_some_and(|p| p >= e.seq) {
@@ -442,16 +465,22 @@ impl Processor {
             return;
         }
         self.port_used = false;
+        self.port_used_by_prefetch = false;
         self.stage_drain(now, mem);
         self.stage_spec_retire(now);
         self.stage_execute(now);
-        self.stage_commit(now);
+        let retired = self.stage_commit(now);
         self.stage_fetch(now);
         self.stage_dispatch(now, mem);
         self.stage_store_issue(now, mem);
         self.stage_load_issue(now, mem);
         self.stage_prefetch(now, mem);
-        if !self.port_used && (!self.load_queue.is_empty() || !self.sb.is_empty()) {
+        // Demand work waited while no demand access took the port —
+        // whether the port sat idle (consistency delay arcs) or was
+        // consumed by a prefetch.
+        if (!self.port_used || self.port_used_by_prefetch)
+            && (!self.load_queue.is_empty() || !self.sb.is_empty())
+        {
             self.stats.stall_cycles += 1;
         }
         if self.program_finished
@@ -464,6 +493,44 @@ impl Processor {
         {
             self.halted = true;
             self.stats.halted_at = now;
+        }
+        // Attribute this cycle to exactly one breakdown component. The
+        // halting tick is not accounted: the core is done at `halted_at`,
+        // so components sum to `halted_at` once halted (and to the ticks
+        // run so far while live) — the CycleBreakdownSum invariant.
+        if !self.halted {
+            self.account_cycle(now, retired);
+        }
+    }
+
+    /// Classifies one non-halting cycle by what blocked retirement at the
+    /// reorder-buffer head (the paper's Section 5 execution-time
+    /// decomposition).
+    fn account_cycle(&mut self, now: u64, retired: u64) {
+        let b = &mut self.stats.breakdown;
+        if retired > 0 {
+            b.busy += 1;
+            return;
+        }
+        if let Some(head) = self.rob.head() {
+            match AccessClass::of_instr(&head.instr) {
+                Some(c) if c.is_acquire() => b.acquire_stall += 1,
+                Some(c) if c.reads => b.read_stall += 1,
+                Some(_) => b.write_stall += 1,
+                // ALU/branch (or a not-yet-dispatched hint) at the head,
+                // still executing: the processor is doing useful work.
+                None => b.busy += 1,
+            }
+        } else if !self.sb.is_empty() || !self.load_queue.is_empty() || !self.awaiting.is_empty() {
+            // Program committed, store buffer (or a stray demand access)
+            // still draining — the post-halt write stall SC pays and RC
+            // overlaps.
+            b.write_stall += 1;
+        } else if now < self.fetch_stalled_until {
+            // Refetching after a squash: correction overhead.
+            b.rollback_stall += 1;
+        } else {
+            b.fetch_stall += 1;
         }
     }
 
@@ -808,7 +875,10 @@ impl Processor {
     // Stage 4: commit.
     // ------------------------------------------------------------------
 
-    fn stage_commit(&mut self, now: u64) {
+    /// Returns how many instructions retired this cycle (drives the busy
+    /// component of the cycle breakdown).
+    fn stage_commit(&mut self, now: u64) -> u64 {
+        let mut retired = 0u64;
         let mut budget = self.cfg.commit_width.unwrap_or(usize::MAX);
         while budget > 0 {
             let Some(head) = self.rob.head() else { break };
@@ -852,6 +922,7 @@ impl Processor {
                 break;
             }
             let Some(e) = self.rob.pop_head() else { break };
+            retired += 1;
             self.stats.committed += 1;
             if e.instr.is_mem_read() {
                 self.stats.loads += 1;
@@ -869,6 +940,7 @@ impl Processor {
             }
             budget -= 1;
         }
+        retired
     }
 
     fn release_store(&mut self, now: u64, seq: Seq) {
@@ -1381,6 +1453,7 @@ impl Processor {
                 PrefetchResult::Issued { .. } => {
                     self.sw_prefetches.pop_front();
                     self.port_used = true;
+                    self.port_used_by_prefetch = true;
                     self.emit(now, seq, EventKind::PrefetchIssued { addr, exclusive });
                     return;
                 }
@@ -1422,6 +1495,7 @@ impl Processor {
                 PrefetchResult::Issued { .. } => {
                     self.mark_prefetch_sent(seq);
                     self.port_used = true;
+                    self.port_used_by_prefetch = true;
                     self.emit(now, seq, EventKind::PrefetchIssued { addr, exclusive });
                     break;
                 }

@@ -47,4 +47,4 @@ pub mod storebuf;
 
 pub use config::{ProcConfig, Techniques};
 pub use core::{CoreEvent, Processor};
-pub use stats::ProcStats;
+pub use stats::{CycleBreakdown, ProcStats};

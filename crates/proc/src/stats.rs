@@ -2,62 +2,76 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A power-of-two-bucketed latency histogram: bucket `i` counts samples
-/// with `2^i <= latency < 2^(i+1)` (bucket 0 also takes latency 0 and 1).
-/// Cheap, `Copy`, and good enough to see the paper's effects — hit/miss
-/// bimodality, and how the techniques move mass from the serialized tail
-/// into the overlapped head.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    buckets: [u64; 20],
+pub use mcsim_guard::LatencyHistogram;
+
+/// Per-cause attribution of every cycle a core was accounted for — the
+/// paper's Section 5 stacked execution-time breakdown (busy time vs.
+/// read-miss, write-miss, and acquire stall), extended with the
+/// speculation-specific overheads this simulator models.
+///
+/// Exactly one component is incremented per core tick, classified by what
+/// blocked retirement at the reorder-buffer head, so the components sum
+/// to the cycles the core ran ([`CycleBreakdown::total`]); `mcsim-guard`
+/// checks that identity as a hard invariant
+/// (`InvariantKind::CycleBreakdownSum`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles in which at least one instruction retired, or the ROB head
+    /// was an ALU/branch instruction still executing — the paper's "busy
+    /// time".
+    pub busy: u64,
+    /// Cycles the ROB head was an ordinary load (or the read half of a
+    /// plain RMW) waiting on memory — read-miss stall.
+    pub read_stall: u64,
+    /// Cycles the ROB head was a store (or the core was draining its
+    /// store buffer) waiting on memory — write/store-buffer stall.
+    pub write_stall: u64,
+    /// Cycles the ROB head was an acquire-flavored access (acquire load
+    /// or acquire RMW) waiting on memory — acquire/synchronization stall.
+    pub acquire_stall: u64,
+    /// Cycles the frontend was refetching after a squash (speculative-load
+    /// rollback or branch misprediction) — correction overhead.
+    pub rollback_stall: u64,
+    /// Cycles the ROB was empty with nothing to refetch — frontend-starved
+    /// (width-limited fetch, or the tail after `HALT` fetched).
+    pub fetch_stall: u64,
 }
 
-impl LatencyHistogram {
-    /// An empty histogram.
+impl CycleBreakdown {
+    /// Sum of all components — must equal the cycles the core was
+    /// accounted for.
     #[must_use]
-    pub fn new() -> Self {
-        LatencyHistogram { buckets: [0; 20] }
+    pub fn total(&self) -> u64 {
+        self.busy
+            + self.read_stall
+            + self.write_stall
+            + self.acquire_stall
+            + self.rollback_stall
+            + self.fetch_stall
     }
 
-    /// Records one sample.
-    pub fn record(&mut self, latency: u64) {
-        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
-        self.buckets[b.min(self.buckets.len() - 1)] += 1;
+    /// Component-wise sum (machine totals).
+    pub fn merge(&mut self, o: &CycleBreakdown) {
+        self.busy += o.busy;
+        self.read_stall += o.read_stall;
+        self.write_stall += o.write_stall;
+        self.acquire_stall += o.acquire_stall;
+        self.rollback_stall += o.rollback_stall;
+        self.fetch_stall += o.fetch_stall;
     }
 
-    /// Total samples.
+    /// `(label, count)` pairs in render order, stall causes first-to-last
+    /// as the paper stacks them.
     #[must_use]
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Samples at or below `latency` (bucket-granular upper bound).
-    #[must_use]
-    pub fn count_up_to(&self, latency: u64) -> u64 {
-        let b = (64 - latency.max(1).leading_zeros() - 1) as usize;
-        self.buckets[..=b.min(self.buckets.len() - 1)].iter().sum()
-    }
-
-    /// `(lower_bound, count)` for each non-empty bucket.
-    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (1u64 << i, c))
-    }
-
-    /// Merges another histogram.
-    pub fn merge(&mut self, o: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
-            *a += b;
-        }
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("busy", self.busy),
+            ("read", self.read_stall),
+            ("write", self.write_stall),
+            ("acquire", self.acquire_stall),
+            ("rollback", self.rollback_stall),
+            ("fetch", self.fetch_stall),
+        ]
     }
 }
 
@@ -95,11 +109,17 @@ pub struct ProcStats {
     pub branch_mispredicts: u64,
     /// Prefetches the prefetch unit requested (before cache filtering).
     pub prefetch_requests: u64,
-    /// Cycles the core could not issue any memory operation although at
-    /// least one was waiting (consistency stall measure).
+    /// Cycles in which no demand memory operation issued although at
+    /// least one was waiting in the load queue or store buffer — whether
+    /// the cache port sat idle (consistency delay arcs) or was consumed
+    /// by a prefetch. A coarse issue-side pressure gauge; the per-cause
+    /// retirement-side view is [`CycleBreakdown`].
     pub stall_cycles: u64,
     /// Cycle the core halted (all work drained).
     pub halted_at: u64,
+    /// Per-cause attribution of every accounted cycle (one component
+    /// incremented per tick).
+    pub breakdown: CycleBreakdown,
     /// Issue-to-perform latency of demand loads (excluding forwarded).
     pub load_latency: LatencyHistogram,
     /// Issue-to-perform latency of stores and RMW atomics.
@@ -145,6 +165,7 @@ impl ProcStats {
         self.prefetch_requests += o.prefetch_requests;
         self.stall_cycles += o.stall_cycles;
         self.halted_at = self.halted_at.max(o.halted_at);
+        self.breakdown.merge(&o.breakdown);
         self.load_latency.merge(&o.load_latency);
         self.store_latency.merge(&o.store_latency);
     }
@@ -178,16 +199,41 @@ mod tests {
         h.record(100);
         h.record(1 << 30); // clamps into the last bucket
         assert_eq!(h.count(), 6);
+        assert_eq!(h.count_up_to(0), 2, "latency-0 samples share bucket 0");
         assert_eq!(h.count_up_to(1), 2);
         assert_eq!(h.count_up_to(3), 4);
         let nz: Vec<_> = h.nonzero().collect();
-        assert!(nz.contains(&(1, 2)));
+        assert!(nz.contains(&(0, 2)), "bucket 0's lower bound is 0: {nz:?}");
         assert!(nz.contains(&(2, 2)));
         assert!(nz.contains(&(64, 1)));
         let mut h2 = LatencyHistogram::new();
         h2.record(100);
         h.merge(&h2);
         assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn breakdown_total_and_merge() {
+        let mut a = CycleBreakdown {
+            busy: 3,
+            read_stall: 2,
+            write_stall: 1,
+            acquire_stall: 4,
+            rollback_stall: 5,
+            fetch_stall: 6,
+        };
+        assert_eq!(a.total(), 21);
+        let b = CycleBreakdown {
+            busy: 1,
+            fetch_stall: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 24);
+        assert_eq!(a.busy, 4);
+        assert_eq!(a.fetch_stall, 8);
+        let sum: u64 = a.components().iter().map(|&(_, c)| c).sum();
+        assert_eq!(sum, a.total());
     }
 
     #[test]

@@ -45,6 +45,19 @@ pub struct PointMetrics {
     pub demand_misses: u64,
     /// Cycles transactions spent queued at the directory.
     pub dir_queue_cycles: u64,
+    /// Breakdown: cycles with a retirement (or the ROB head executing) —
+    /// busy time, summed over processors.
+    pub busy_cycles: u64,
+    /// Breakdown: cycles stalled on an ordinary read at the ROB head.
+    pub read_stall_cycles: u64,
+    /// Breakdown: cycles stalled on a write / draining the store buffer.
+    pub write_stall_cycles: u64,
+    /// Breakdown: cycles stalled on an acquire access at the ROB head.
+    pub acquire_stall_cycles: u64,
+    /// Breakdown: cycles spent refetching after a squash.
+    pub rollback_stall_cycles: u64,
+    /// Breakdown: cycles with an empty ROB and nothing to refetch.
+    pub fetch_stall_cycles: u64,
 }
 
 impl PointMetrics {
@@ -65,6 +78,12 @@ impl PointMetrics {
             demand_merges: report.mem.demand_merges,
             demand_misses: report.mem.demand_misses,
             dir_queue_cycles: report.mem.dir_queue_cycles,
+            busy_cycles: report.total.breakdown.busy,
+            read_stall_cycles: report.total.breakdown.read_stall,
+            write_stall_cycles: report.total.breakdown.write_stall,
+            acquire_stall_cycles: report.total.breakdown.acquire_stall,
+            rollback_stall_cycles: report.total.breakdown.rollback_stall,
+            fetch_stall_cycles: report.total.breakdown.fetch_stall,
         }
     }
 
@@ -234,7 +253,9 @@ impl SweepResult {
             "index,workload,protocol,miss_latency,window,model,techniques,seed,outcome,\
              cycles,committed,loads,stores,speculative_loads,rollbacks,reissues,\
              squashed_by_spec,prefetches_issued,prefetches_useful,demand_merges,\
-             demand_misses,dir_queue_cycles\n",
+             demand_misses,dir_queue_cycles,busy_cycles,read_stall_cycles,\
+             write_stall_cycles,acquire_stall_cycles,rollback_stall_cycles,\
+             fetch_stall_cycles\n",
         );
         for r in &self.rows {
             let _ = write!(
@@ -253,7 +274,7 @@ impl SweepResult {
                 PointOutcome::Done(m) => {
                     let _ = writeln!(
                         out,
-                        "done,{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        "done,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                         m.cycles,
                         m.committed,
                         m.loads,
@@ -267,16 +288,22 @@ impl SweepResult {
                         m.demand_merges,
                         m.demand_misses,
                         m.dir_queue_cycles,
+                        m.busy_cycles,
+                        m.read_stall_cycles,
+                        m.write_stall_cycles,
+                        m.acquire_stall_cycles,
+                        m.rollback_stall_cycles,
+                        m.fetch_stall_cycles,
                     );
                 }
                 PointOutcome::TimedOut { .. } => {
-                    let _ = writeln!(out, "timeout{}", ",".repeat(13));
+                    let _ = writeln!(out, "timeout{}", ",".repeat(19));
                 }
                 PointOutcome::Failed { .. } => {
-                    let _ = writeln!(out, "failed{}", ",".repeat(13));
+                    let _ = writeln!(out, "failed{}", ",".repeat(19));
                 }
                 PointOutcome::Panicked { .. } => {
-                    let _ = writeln!(out, "panic{}", ",".repeat(13));
+                    let _ = writeln!(out, "panic{}", ",".repeat(19));
                 }
             }
         }
@@ -345,6 +372,12 @@ mod tests {
                 demand_merges: 0,
                 demand_misses: 2,
                 dir_queue_cycles: 0,
+                busy_cycles: 10,
+                read_stall_cycles: 100,
+                write_stall_cycles: 10,
+                acquire_stall_cycles: 0,
+                rollback_stall_cycles: 0,
+                fetch_stall_cycles: 3,
             }),
         )];
         SweepResult { spec, rows }

@@ -228,6 +228,12 @@ mod tests {
                         demand_merges: 0,
                         demand_misses: 0,
                         dir_queue_cycles: 0,
+                        busy_cycles: 1,
+                        read_stall_cycles: 0,
+                        write_stall_cycles: 99 + p.index as u64,
+                        acquire_stall_cycles: 0,
+                        rollback_stall_cycles: 0,
+                        fetch_stall_cycles: 0,
                     })
                 };
                 PointRecord::new(p, outcome)

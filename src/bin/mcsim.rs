@@ -48,6 +48,8 @@ OPTIONS (run):
                                   implies tracing
     --trace                       print the event trace
     --timeline                    print a Gantt timeline of memory ops
+    --breakdown                   print the per-cause execution-time
+                                  breakdown (stacked bars, paper Section 5)
     --json                        print the full report as JSON
 ";
 
@@ -120,6 +122,7 @@ struct RunOpts {
     mem_init: Vec<(u64, u64)>,
     trace: bool,
     timeline: bool,
+    breakdown: bool,
     json: bool,
     dump_on_failure: Option<String>,
 }
@@ -131,6 +134,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         mem_init: Vec::new(),
         trace: false,
         timeline: false,
+        breakdown: false,
         json: false,
         dump_on_failure: None,
     };
@@ -203,6 +207,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                 o.cfg.trace = true;
                 o.timeline = true;
             }
+            "--breakdown" => o.breakdown = true,
             "--json" => o.json = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             file => o.files.push(file.to_string()),
@@ -244,6 +249,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if o.timeline {
         print!("{}", mcsim::sim::render_timeline(&report.traces, 72));
+    }
+    if o.breakdown {
+        print!("{}", mcsim::sim::render_breakdown(&report, 72));
     }
     println!(
         "{} / {}: {}",

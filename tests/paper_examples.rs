@@ -18,15 +18,19 @@ use mcsim::sim::MachineConfig as Cfg;
 use mcsim::workloads::paper;
 use mcsim_consistency::Model;
 
-fn run_example1(model: Model, t: Techniques) -> u64 {
+fn report_example1(model: Model, t: Techniques) -> RunReport {
     let cfg = Cfg::paper_with(model, t);
     let m = Machine::new(cfg, vec![paper::example1()]);
     let report = m.run();
     assert!(!report.timed_out);
-    report.cycles
+    report
 }
 
-fn run_example2(model: Model, t: Techniques) -> u64 {
+fn run_example1(model: Model, t: Techniques) -> u64 {
+    report_example1(model, t).cycles
+}
+
+fn report_example2(model: Model, t: Techniques) -> RunReport {
     let cfg = Cfg::paper_with(model, t);
     let mut m = Machine::new(cfg, vec![paper::example2()]);
     paper::setup_example2(&mut m);
@@ -34,7 +38,11 @@ fn run_example2(model: Model, t: Techniques) -> u64 {
     assert!(!report.timed_out);
     // The dependent load must observe the right element of E.
     assert_eq!(report.reg(0, mcsim_isa::reg::R4), 0xE1, "{model}/{t}");
-    report.cycles
+    report
+}
+
+fn run_example2(model: Model, t: Techniques) -> u64 {
+    report_example2(model, t).cycles
 }
 
 #[test]
@@ -102,6 +110,71 @@ fn intermediate_models_fall_between_sc_and_rc() {
     for model in [Model::Pc, Model::Wc] {
         assert_eq!(run_example1(model, Techniques::PREFETCH), 103, "{model}");
     }
+}
+
+#[test]
+fn breakdown_components_sum_to_pinned_totals_in_every_cell() {
+    // The cycle-accounting identity over the whole Figure 2 matrix: each
+    // cell's per-cause breakdown must sum exactly to its (pinned) cycle
+    // total — nothing double-counted, no cycle unattributed.
+    for model in Model::ALL {
+        for t in Techniques::ALL {
+            for (name, report) in [
+                ("example1", report_example1(model, t)),
+                ("example2", report_example2(model, t)),
+            ] {
+                let b = &report.total.breakdown;
+                assert_eq!(b.total(), report.cycles, "{name} {model}/{t}: {b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn example1_sc_base_decomposes_into_write_and_acquire_stalls() {
+    // §3.3 walk-through: conventional SC serializes three 100-cycle
+    // misses — the stores to A and B stall retirement as write stalls
+    // (~2 × 99 cycles behind the 1-cycle issues), and the lock release
+    // RMW's acquire phase accounts for the third.
+    let b = report_example1(Model::Sc, Techniques::NONE).total.breakdown;
+    assert_eq!(b.busy, 3, "{b:?}");
+    assert_eq!(b.write_stall, 198, "{b:?}");
+    assert_eq!(b.acquire_stall, 100, "{b:?}");
+    assert_eq!(b.total(), 301, "{b:?}");
+}
+
+#[test]
+fn example1_rc_base_overlaps_one_write_miss() {
+    // RC retires past pending stores, so only one write-miss latency is
+    // exposed; the lock RMW's 100 cycles remain.
+    let b = report_example1(Model::Rc, Techniques::NONE).total.breakdown;
+    assert_eq!(b.write_stall, 101, "{b:?}");
+    assert_eq!(b.acquire_stall, 100, "{b:?}");
+    assert_eq!(b.total(), 202, "{b:?}");
+}
+
+#[test]
+fn example1_prefetch_eliminates_the_write_stalls() {
+    // With exclusive prefetch the store misses overlap the lock RMW;
+    // only the acquire latency survives in the 103-cycle run.
+    for model in [Model::Sc, Model::Rc] {
+        let b = report_example1(model, Techniques::PREFETCH).total.breakdown;
+        assert_eq!(b.acquire_stall, 100, "{model}: {b:?}");
+        assert!(b.write_stall <= 2, "{model}: {b:?}");
+        assert_eq!(b.total(), 103, "{model}: {b:?}");
+    }
+}
+
+#[test]
+fn example2_speculation_converts_read_stalls_to_busy_overlap() {
+    // §4.1: speculative loads hide the dependent-load chain; the read
+    // stall component collapses from ~198 cycles (SC base) to ~1.
+    let base = report_example2(Model::Sc, Techniques::NONE).total.breakdown;
+    let spec = report_example2(Model::Sc, Techniques::BOTH).total.breakdown;
+    assert_eq!(base.read_stall, 198, "{base:?}");
+    assert_eq!(base.total(), 302, "{base:?}");
+    assert!(spec.read_stall <= 1, "{spec:?}");
+    assert_eq!(spec.total(), 104, "{spec:?}");
 }
 
 #[test]

@@ -11,6 +11,11 @@
 //!    techniques never change the architectural result, only the cycle
 //!    count; and the cycle count never gets worse than conventional on
 //!    uncontended workloads.
+//! 4. **Cycle accounting** — on any contended program, under every
+//!    model × technique combination, each core's per-cause cycle
+//!    breakdown sums exactly to the cycles it was accounted for, and
+//!    the merged machine-wide breakdown is the component-wise sum of
+//!    the per-core ones.
 
 use mcsim::sim::MachineConfig as Cfg;
 use mcsim::workloads::generators::{self, RandomParams};
@@ -101,6 +106,35 @@ proptest! {
                         _ => {}
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_breakdown_sums_across_the_matrix(seed in 0u64..10_000) {
+        // The CycleBreakdownSum identity, quantified over random
+        // contended programs and the full model × technique matrix.
+        let params = RandomParams { procs: 2, ops: 4, addrs: 3, seed };
+        let programs = generators::random_racy(&params);
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                let cfg = Cfg::paper_with(model, t);
+                let report = Machine::new(cfg, programs.clone()).run();
+                prop_assert!(!report.timed_out);
+                let mut merged = mcsim_proc::CycleBreakdown::default();
+                for (i, s) in report.per_proc.iter().enumerate() {
+                    prop_assert_eq!(
+                        s.breakdown.total(), s.halted_at,
+                        "seed {} {}/{} p{}: components must sum to accounted cycles",
+                        seed, model, t.label(), i
+                    );
+                    merged.merge(&s.breakdown);
+                }
+                prop_assert_eq!(
+                    merged, report.total.breakdown,
+                    "seed {} {}/{}: merged breakdown is not the per-core sum",
+                    seed, model, t.label()
+                );
             }
         }
     }
