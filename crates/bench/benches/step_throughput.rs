@@ -1,0 +1,269 @@
+//! Machine-loop throughput with and without event-horizon fast-forward.
+//!
+//! A standalone (`harness = false`) bench binary: the vendored criterion
+//! stand-in has no JSON output or baseline support, so this measures by
+//! hand — median wall time over a fixed sample count for three workload
+//! classes, each run both with skipping enabled and disabled — and speaks
+//! the formats CI needs:
+//!
+//! ```text
+//! step_throughput                      # human-readable table
+//! step_throughput --json OUT           # write measurements as JSON
+//! step_throughput --write-baseline OUT # alias of --json (intent marker)
+//! step_throughput --check BASELINE     # fail on >20% median regression
+//!                                      # or a miss-dominated speedup < 5x
+//! ```
+//!
+//! The three classes bracket the design space:
+//! - `miss_dominated`: a serialized pointer chase — one cold miss at a
+//!   time, ~99 of every 100 cycles quiescent; fast-forward's best case.
+//! - `hit_dominated`: an array sweep over preloaded lines — every cycle
+//!   retires work, so there is nothing to skip; the overhead floor.
+//! - `mixed`: contended lock sections — spins, misses and handoffs
+//!   interleaved across processors.
+//!
+//! Every sample also asserts the fast and slow reports serialize
+//! identically, so the perf job doubles as an equivalence smoke test.
+
+use std::time::Instant;
+
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig, RunTelemetry};
+use mcsim_isa::Program;
+use mcsim_proc::Techniques;
+use mcsim_workloads::generators::{self, CriticalSections};
+use serde::{Deserialize, Serialize};
+
+/// Wall-time samples per (class, mode) pair; the median is reported.
+const SAMPLES: usize = 15;
+
+/// Maximum tolerated median-time regression against the baseline.
+const REGRESSION_LIMIT: f64 = 0.20;
+
+/// Required wall-clock leverage on the miss-dominated class.
+const MIN_MISS_SPEEDUP: f64 = 5.0;
+
+/// One measured workload class.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClassResult {
+    name: String,
+    /// Median wall nanoseconds per run, fast-forward enabled.
+    median_ns: u64,
+    /// Simulated cycles one run covers (deterministic).
+    sim_cycles: u64,
+    /// Simulated cycles per wall second at the fast median.
+    sim_cycles_per_sec: f64,
+    /// Median-time ratio: per-cycle stepping over fast-forwarding.
+    wall_speedup: f64,
+    /// Cycles the fast run skipped (deterministic).
+    skipped_cycles: u64,
+}
+
+struct Workload {
+    name: &'static str,
+    cfg: MachineConfig,
+    programs: Vec<Program>,
+    mem: Vec<(u64, u64)>,
+    /// Lines preloaded shared into processor 0's cache.
+    preload: Vec<u64>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+
+    // Serialized pointer chase against remote (400-cycle) memory: the
+    // ratio of quiescent wait to real work is highest here, so this is
+    // the class the fast path must pay off on.
+    let (chase, mem) = generators::pointer_chase(512, 7);
+    let mut cfg = MachineConfig::paper_with(Model::Sc, Techniques::NONE);
+    cfg.mem.timings = mcsim_mem::MemTimings::with_miss_latency(400);
+    out.push(Workload {
+        name: "miss_dominated",
+        cfg,
+        programs: vec![chase],
+        mem: mem.into_iter().collect(),
+        preload: Vec::new(),
+    });
+
+    // 256 lines exactly fills the paper cache (64 sets x 4 ways), so
+    // every access hits without the preload evicting anything.
+    let sweep = generators::array_sweep(256, false);
+    let preload = (0..256).map(|i| 0x10_000 + i * 64).collect();
+    out.push(Workload {
+        name: "hit_dominated",
+        cfg: MachineConfig::paper_with(Model::Sc, Techniques::NONE),
+        programs: vec![sweep],
+        mem: Vec::new(),
+        preload,
+    });
+
+    let params = CriticalSections::default();
+    out.push(Workload {
+        name: "mixed",
+        cfg: MachineConfig::paper_with(Model::Sc, Techniques::BOTH),
+        programs: generators::critical_sections(&params),
+        mem: Vec::new(),
+        preload: Vec::new(),
+    });
+
+    out
+}
+
+fn build(w: &Workload, fast_forward: bool) -> Machine {
+    let mut m = Machine::new(w.cfg, w.programs.clone());
+    m.set_fast_forward(fast_forward);
+    for &(a, v) in &w.mem {
+        m.write_memory(a, v);
+    }
+    for &a in &w.preload {
+        m.preload_cache(0, a, false);
+    }
+    m
+}
+
+/// Median wall nanoseconds over [`SAMPLES`] runs, plus one run's report
+/// JSON and telemetry (identical across samples — the machine is
+/// deterministic).
+fn measure(w: &Workload, fast_forward: bool) -> (u64, String, RunTelemetry) {
+    let mut times: Vec<u64> = Vec::with_capacity(SAMPLES);
+    let mut exemplar = None;
+    for _ in 0..SAMPLES {
+        let m = build(w, fast_forward);
+        let started = Instant::now();
+        let (report, telemetry) = m.run_telemetry();
+        let ns = started.elapsed().as_nanos() as u64;
+        times.push(ns);
+        assert!(
+            report.failure.is_none() && !report.timed_out,
+            "{}: bench workload must complete cleanly",
+            w.name
+        );
+        exemplar.get_or_insert_with(|| {
+            let json = serde_json::to_string(&report).expect("report serializes");
+            (json, telemetry)
+        });
+    }
+    times.sort_unstable();
+    let (json, telemetry) = exemplar.expect("at least one sample ran");
+    (times[times.len() / 2], json, telemetry)
+}
+
+fn run_all() -> Vec<ClassResult> {
+    workloads()
+        .iter()
+        .map(|w| {
+            let (fast_ns, fast_json, telemetry) = measure(w, true);
+            let (slow_ns, slow_json, _) = measure(w, false);
+            assert_eq!(
+                fast_json, slow_json,
+                "{}: fast-forward changed the report",
+                w.name
+            );
+            let sim_cycles = telemetry.stepped_cycles + telemetry.skipped_cycles;
+            ClassResult {
+                name: w.name.to_string(),
+                median_ns: fast_ns,
+                sim_cycles,
+                sim_cycles_per_sec: sim_cycles as f64 / (fast_ns as f64 / 1e9),
+                wall_speedup: slow_ns as f64 / fast_ns as f64,
+                skipped_cycles: telemetry.skipped_cycles,
+            }
+        })
+        .collect()
+}
+
+fn render(results: &[ClassResult]) {
+    println!(
+        "{:<16} {:>12} {:>14} {:>16} {:>10}",
+        "class", "median", "sim cycles", "sim cycles/s", "speedup"
+    );
+    for r in results {
+        println!(
+            "{:<16} {:>10.2}us {:>14} {:>15.2}M {:>9.1}x",
+            r.name,
+            r.median_ns as f64 / 1e3,
+            r.sim_cycles,
+            r.sim_cycles_per_sec / 1e6,
+            r.wall_speedup
+        );
+    }
+}
+
+fn check(results: &[ClassResult], baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: Vec<ClassResult> =
+        serde_json::from_str(&text).map_err(|e| format!("invalid baseline: {e}"))?;
+    let mut problems = Vec::new();
+    for r in results {
+        let Some(b) = baseline.iter().find(|b| b.name == r.name) else {
+            problems.push(format!("{}: missing from baseline", r.name));
+            continue;
+        };
+        if r.sim_cycles != b.sim_cycles {
+            problems.push(format!(
+                "{}: simulated cycles moved {} -> {} (the workload itself changed; \
+                 regenerate the baseline deliberately)",
+                r.name, b.sim_cycles, r.sim_cycles
+            ));
+        }
+        let ratio = r.median_ns as f64 / b.median_ns as f64;
+        if ratio > 1.0 + REGRESSION_LIMIT {
+            problems.push(format!(
+                "{}: median {}ns vs baseline {}ns (+{:.0}% > {:.0}% budget)",
+                r.name,
+                r.median_ns,
+                b.median_ns,
+                (ratio - 1.0) * 100.0,
+                REGRESSION_LIMIT * 100.0
+            ));
+        }
+    }
+    let miss = results
+        .iter()
+        .find(|r| r.name == "miss_dominated")
+        .ok_or("miss_dominated class missing")?;
+    if miss.wall_speedup < MIN_MISS_SPEEDUP {
+        problems.push(format!(
+            "miss_dominated: fast-forward speedup {:.1}x < required {:.0}x",
+            miss.wall_speedup, MIN_MISS_SPEEDUP
+        ));
+    }
+    if problems.is_empty() {
+        println!("perf check passed against {baseline_path}");
+        Ok(())
+    } else {
+        Err(format!("perf check failed:\n  {}", problems.join("\n  ")))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Under `cargo bench` the harness is handed flags like `--bench`;
+    // ignore anything we don't own.
+    let mut json_out = None;
+    let mut check_against = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" | "--write-baseline" => json_out = it.next().cloned(),
+            "--check" => check_against = it.next().cloned(),
+            _ => {}
+        }
+    }
+
+    let results = run_all();
+    render(&results);
+
+    if let Some(path) = json_out {
+        let text = serde_json::to_string_pretty(&results).expect("results serialize");
+        std::fs::write(&path, text + "\n").unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_against {
+        if let Err(msg) = check(&results, &path) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,6 +20,7 @@ fn bench_e6_grid(c: &mut Criterion) {
                     &ExecOptions {
                         jobs,
                         progress: false,
+                        fast_forward: true,
                     },
                 )
                 .expect("built-in spec is valid");

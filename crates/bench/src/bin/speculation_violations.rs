@@ -15,6 +15,7 @@ fn main() {
         &ExecOptions {
             jobs: jobs_from_args(),
             progress: false,
+            fast_forward: true,
         },
     )
     .expect("built-in spec is valid");

@@ -27,7 +27,7 @@ pub mod report;
 pub mod trace;
 
 pub use harness::{format_table, model_spread, run_matrix, try_run_matrix, CellFailure, MatrixRow};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, RunTelemetry};
 pub use mcsim_guard::{
     FaultKind, GuardConfig, InvariantKind, SimError, SimErrorKind, StallClass, StallReport,
 };

@@ -4,8 +4,8 @@ use crate::report::RunReport;
 use mcsim_consistency::Model;
 use mcsim_guard::{GuardConfig, SimError, StallReport};
 use mcsim_isa::{Addr, Program};
-use mcsim_mem::{MemConfig, MemorySystem};
-use mcsim_proc::{ProcConfig, Processor, Techniques};
+use mcsim_mem::{MemConfig, MemQuiescence, MemorySystem};
+use mcsim_proc::{ProcConfig, ProcQuiescence, Processor, Techniques};
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to build a [`Machine`].
@@ -64,6 +64,70 @@ impl Default for MachineConfig {
     }
 }
 
+/// Wall-clock-side telemetry of one run: how many cycles were actually
+/// stepped versus fast-forwarded. Kept out of [`RunReport`] (and never
+/// serialized into sweep result artifacts) because it describes *how*
+/// the simulation ran, not *what* it computed — the report itself is
+/// bit-identical whichever way the cycles were covered.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Cycles simulated by a full [`Machine::step`].
+    pub stepped_cycles: u64,
+    /// Cycles covered by event-horizon fast-forwarding.
+    pub skipped_cycles: u64,
+    /// Number of contiguous fast-forwarded spans.
+    pub spans: u64,
+}
+
+impl RunTelemetry {
+    /// Simulated-cycles per stepped-cycle — the fast-forward speedup
+    /// expressed machine-independently (1.0 when nothing was skipped).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if self.stepped_cycles == 0 {
+            1.0
+        } else {
+            total as f64 / self.stepped_cycles as f64
+        }
+    }
+}
+
+/// Per-step fingerprints of every component's mutable state. When a full
+/// step leaves all of them unchanged, the machine is quiescent: nothing
+/// will happen until the next scheduled event, so the cycles in between
+/// can be accounted in bulk instead of simulated one at a time.
+#[derive(Debug)]
+struct Fingerprint {
+    mem: MemQuiescence,
+    procs: Vec<ProcQuiescence>,
+}
+
+impl Fingerprint {
+    fn capture(mem: &MemorySystem, procs: &[Processor]) -> Self {
+        Fingerprint {
+            mem: mem.quiescence(),
+            procs: procs.iter().map(Processor::quiescence).collect(),
+        }
+    }
+
+    /// Replaces every slot with the current state (no short-circuiting:
+    /// the stored fingerprint must always describe the latest step) and
+    /// reports whether nothing changed.
+    fn refresh(&mut self, mem: &MemorySystem, procs: &[Processor]) -> bool {
+        let mut unchanged = true;
+        let mq = mem.quiescence();
+        unchanged &= mq == self.mem;
+        self.mem = mq;
+        for (slot, p) in self.procs.iter_mut().zip(procs) {
+            let q = p.quiescence();
+            unchanged &= q == *slot;
+            *slot = q;
+        }
+        unchanged
+    }
+}
+
 /// A shared-memory multiprocessor: one program per processor.
 #[derive(Debug)]
 pub struct Machine {
@@ -71,6 +135,11 @@ pub struct Machine {
     mem: MemorySystem,
     procs: Vec<Processor>,
     cycle: u64,
+    /// Event-horizon fast-forwarding (on by default). A runtime switch —
+    /// deliberately not part of [`MachineConfig`], whose serialized form
+    /// is embedded in sweep artifacts that must not change — because it
+    /// alters only wall-clock time, never the report.
+    fast_forward: bool,
 }
 
 impl Machine {
@@ -103,7 +172,15 @@ impl Machine {
             mem,
             procs,
             cycle: 0,
+            fast_forward: true,
         }
+    }
+
+    /// Enables or disables event-horizon fast-forwarding (the
+    /// `--no-fast-forward` escape hatch). The produced [`RunReport`] is
+    /// bit-identical either way; only wall-clock time differs.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
     }
 
     /// The configuration.
@@ -190,14 +267,41 @@ impl Machine {
     /// violation, or the forward-progress watchdog firing — stop the run
     /// and land in [`RunReport::failure`] instead of unwinding.
     #[must_use]
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_telemetry().0
+    }
+
+    /// The machine-wide event horizon: the earliest future cycle at which
+    /// any component can change state on its own. `None` when nothing is
+    /// scheduled anywhere (a silent machine can only deadlock or time
+    /// out).
+    fn next_event(&self) -> Option<u64> {
+        let mut horizon = self.mem.next_event();
+        for p in &self.procs {
+            horizon = match (horizon, p.next_event(self.cycle)) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (h, other) => h.or(other),
+            };
+        }
+        horizon
+    }
+
+    /// Like [`Self::run`], but also reports how the cycles were covered
+    /// (stepped vs. fast-forwarded).
+    #[must_use]
+    pub fn run_telemetry(mut self) -> (RunReport, RunTelemetry) {
         let every_cycle = cfg!(any(feature = "strict-invariants", debug_assertions));
         let period = self.cfg.guard.effective_period(every_cycle);
         let mut watchdog = Watchdog::new(self.cfg.guard.watchdog_window, &self.procs);
+        let mut telemetry = RunTelemetry::default();
         let mut timed_out = true;
         let mut failure = None;
+        let mut fingerprint = self
+            .fast_forward
+            .then(|| Fingerprint::capture(&self.mem, &self.procs));
         while self.cycle < self.cfg.max_cycles {
             if self.step() {
+                telemetry.stepped_cycles += 1;
                 timed_out = false;
                 // Final-state audit: a fault or violation landing on the
                 // very cycle the last core halts (e.g. a tainted grant
@@ -208,6 +312,7 @@ impl Machine {
                     .or_else(|| period.and_then(|_| self.check_invariants().err()));
                 break;
             }
+            telemetry.stepped_cycles += 1;
             if let Some(e) = self.poll_fault() {
                 failure = Some(e);
                 timed_out = false;
@@ -220,13 +325,98 @@ impl Machine {
                     break;
                 }
             }
-            if let Some(report) = watchdog.observe(self.cycle, &self.procs, &self.mem) {
-                failure = Some(SimError::no_progress(self.cycle, report));
+            if let Some((edge, report)) = watchdog.observe_up_to(self.cycle, &self.procs, &self.mem)
+            {
+                failure = Some(SimError::no_progress(edge, report));
                 timed_out = false;
                 break;
             }
+            if let Some(fp) = &mut fingerprint {
+                if fp.refresh(&self.mem, &self.procs) {
+                    if let Err(e) = self.fast_forward_span(period, &mut watchdog, &mut telemetry) {
+                        failure = Some(e);
+                        timed_out = false;
+                        break;
+                    }
+                }
+            }
         }
-        self.into_report_with(timed_out, failure)
+        (self.into_report_with(timed_out, failure), telemetry)
+    }
+
+    /// Jumps from the current (quiescent) cycle to the event horizon,
+    /// replaying everything the skipped per-cycle iterations would have
+    /// done: per-cause breakdown accounting, the invariant-check cadence,
+    /// and watchdog window edges — in their exact per-cycle order, so the
+    /// resulting report (success or failure) is bit-identical to stepping.
+    ///
+    /// The machine's state is frozen across the whole span (that is what
+    /// quiescence means), which is what makes the replay exact:
+    /// - every skipped cycle classifies into the same breakdown bucket as
+    ///   the quiescent cycle that opened the span;
+    /// - the first in-span invariant check's verdict holds for all later
+    ///   multiples, so one check suffices;
+    /// - no new fault can be recorded (faults are set only by mutations),
+    ///   so per-cycle fault polling needs no replay;
+    /// - a watchdog edge samples exactly the values per-cycle sampling
+    ///   would have seen.
+    ///
+    /// Per-cycle check order at an equal cycle is invariants before the
+    /// watchdog, which the segmentation below preserves.
+    fn fast_forward_span(
+        &mut self,
+        period: Option<u64>,
+        watchdog: &mut Watchdog,
+        telemetry: &mut RunTelemetry,
+    ) -> Result<(), SimError> {
+        let max = self.cfg.max_cycles;
+        let start = self.cycle;
+        // The step at the horizon cycle consumes the event; steps strictly
+        // before it are frozen. Capping at `max_cycles` makes a timeout
+        // span land exactly where per-cycle stepping would stop, with the
+        // loop-body checks at `cycle == max_cycles` still replayed.
+        let target = self.next_event().unwrap_or(max).min(max);
+        if target <= start {
+            return Ok(());
+        }
+        telemetry.spans += 1;
+        // Checks the skipped iterations would have run happen at cycle
+        // values in (start, target]; the check at `start` already ran.
+        let inv_at = period.and_then(|n| {
+            let m = (start / n + 1).saturating_mul(n);
+            (m <= target).then_some(m)
+        });
+        let mut accounted_to = start;
+        let mut advance = |machine: &mut Machine, to: u64| {
+            for p in &mut machine.procs {
+                p.account_skipped(to - accounted_to);
+            }
+            telemetry.skipped_cycles += to - accounted_to;
+            accounted_to = to;
+            machine.cycle = to;
+        };
+        // Watchdog edges strictly before the invariant check's cycle.
+        let pre_limit = inv_at.map_or(target, |m| m - 1);
+        if let Some((edge, report)) = watchdog.observe_up_to(pre_limit, &self.procs, &self.mem) {
+            advance(self, edge);
+            return Err(SimError::no_progress(edge, report));
+        }
+        if let Some(m) = inv_at {
+            advance(self, m);
+            // Per-cycle mode reaches the check at cycle `m` with the
+            // memory system last ticked at `m - 1`; error cycle stamps
+            // must match. Ticking is side-effect-free here: no scheduled
+            // event is due before the horizon and the directory queue is
+            // drained (quiescent), so only its clock moves.
+            self.mem.tick(m - 1);
+            self.check_invariants()?;
+        }
+        if let Some((edge, report)) = watchdog.observe_up_to(target, &self.procs, &self.mem) {
+            advance(self, edge);
+            return Err(SimError::no_progress(edge, report));
+        }
+        advance(self, target);
+        Ok(())
     }
 
     /// Finalizes a (possibly manually stepped) machine into a report.
@@ -282,6 +472,11 @@ impl Machine {
 #[derive(Debug)]
 struct Watchdog {
     window: u64,
+    /// The next cycle at which a window closes. Tracked explicitly (rather
+    /// than testing `cycle % window == 0`) so that edges falling inside a
+    /// fast-forwarded span are still sampled: callers report how far time
+    /// has advanced and every edge up to that point is processed in order.
+    next_edge: u64,
     committed: u64,
     activity: u64,
     /// Per-core fetch PCs at the last window edge (a moving frontend with
@@ -295,6 +490,7 @@ impl Watchdog {
     fn new(window: u64, procs: &[Processor]) -> Self {
         Watchdog {
             window,
+            next_edge: window,
             committed: 0,
             activity: 0,
             pcs: procs.iter().map(Processor::fetch_pc).collect(),
@@ -311,41 +507,52 @@ impl Watchdog {
         (committed, churn)
     }
 
-    /// Samples at window edges; returns a stall report when the window
-    /// that just closed was completely silent.
-    fn observe(
+    /// Processes every window edge at or before `cycle`, in order; returns
+    /// the first edge whose just-closed window was completely silent,
+    /// along with its stall report. With one edge per call this is the
+    /// classic per-cycle sampler; across a fast-forwarded span it replays
+    /// each covered edge against the (frozen) machine state, which is
+    /// exactly what per-cycle sampling would have observed.
+    fn observe_up_to(
         &mut self,
         cycle: u64,
         procs: &[Processor],
         mem: &MemorySystem,
-    ) -> Option<StallReport> {
-        if self.window == 0 || cycle == 0 || !cycle.is_multiple_of(self.window) {
+    ) -> Option<(u64, StallReport)> {
+        if self.window == 0 {
             return None;
         }
-        let (committed, churn) = Self::totals(procs);
-        let activity = mem.activity();
-        let pcs: Vec<u32> = procs.iter().map(Processor::fetch_pc).collect();
-        let silent =
-            committed == self.committed && activity == self.activity && mem.in_flight() == 0;
-        let report = silent.then(|| {
-            let frontend_moved = pcs != self.pcs;
-            let speculation_churned = churn != self.churn;
-            StallReport {
-                class: StallReport::classify(frontend_moved, speculation_churned),
-                window: self.window,
-                since_cycle: cycle - self.window,
-                stalled: procs
-                    .iter()
-                    .filter(|p| !p.halted())
-                    .map(Processor::stall_snapshot)
-                    .collect(),
+        while self.next_edge <= cycle {
+            let edge = self.next_edge;
+            let (committed, churn) = Self::totals(procs);
+            let activity = mem.activity();
+            let pcs: Vec<u32> = procs.iter().map(Processor::fetch_pc).collect();
+            let silent =
+                committed == self.committed && activity == self.activity && mem.in_flight() == 0;
+            let report = silent.then(|| {
+                let frontend_moved = pcs != self.pcs;
+                let speculation_churned = churn != self.churn;
+                StallReport {
+                    class: StallReport::classify(frontend_moved, speculation_churned),
+                    window: self.window,
+                    since_cycle: edge - self.window,
+                    stalled: procs
+                        .iter()
+                        .filter(|p| !p.halted())
+                        .map(Processor::stall_snapshot)
+                        .collect(),
+                }
+            });
+            self.committed = committed;
+            self.activity = activity;
+            self.pcs = pcs;
+            self.churn = churn;
+            self.next_edge += self.window;
+            if let Some(report) = report {
+                return Some((edge, report));
             }
-        });
-        self.committed = committed;
-        self.activity = activity;
-        self.pcs = pcs;
-        self.churn = churn;
-        report
+        }
+        None
     }
 }
 

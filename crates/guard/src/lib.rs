@@ -465,10 +465,19 @@ pub struct GuardConfig {
     /// every cycle in debug builds (or under the `strict-invariants`
     /// feature), every [`GuardConfig::RELEASE_PERIOD`] cycles otherwise.
     /// `u64::MAX` disables checking.
+    ///
+    /// The cadence is defined over *simulated* cycles, not loop
+    /// iterations: when the machine loop fast-forwards over a quiescent
+    /// span, a check still runs for the first in-span multiple of the
+    /// period (state is frozen across the span, so that one verdict is
+    /// exactly what checking at every covered multiple would produce).
     pub invariant_period: u64,
     /// Watchdog window: declare a stall after this many consecutive
     /// cycles with no retires and no coherence activity. `0` disables the
-    /// watchdog (leaving only the `max_cycles` bound).
+    /// watchdog (leaving only the `max_cycles` bound). Window edges are
+    /// likewise simulated-cycle positions — edges crossed by a
+    /// fast-forwarded span are sampled, in order, against the frozen
+    /// state, so a deadlock fires at the same edge cycle either way.
     pub watchdog_window: u64,
     /// Protocol fault to inject (mutation-testing the checker).
     pub fault: Option<FaultKind>,

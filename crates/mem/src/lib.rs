@@ -58,4 +58,4 @@ pub use config::{CacheConfig, MemConfig, MemTimings, Protocol};
 pub use msg::{DemandToken, IssueResult, MemEvent, PrefetchResult, ProbeResult, TxnId};
 pub use mshr::MshrFault;
 pub use stats::MemStats;
-pub use system::MemorySystem;
+pub use system::{MemQuiescence, MemorySystem};

@@ -128,6 +128,24 @@ struct FaultInjector {
     fired: bool,
 }
 
+/// A read-only summary of the memory system's mutable state, compared
+/// across a tick to detect quiescence (see [`MemorySystem::quiescence`]).
+/// Every mutation path either bumps a [`MemStats`] counter, changes a
+/// queue length, or allocates a monotone ID, so equality of two summaries
+/// implies the tick between them changed nothing observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemQuiescence {
+    stats: MemStats,
+    next_txn: u64,
+    next_seq: u64,
+    next_token: u64,
+    sched_len: usize,
+    dir_queue_len: usize,
+    outbox_len: usize,
+    bound_values_len: usize,
+    fault: bool,
+}
+
 /// The machine-wide coherent memory system.
 #[derive(Debug)]
 pub struct MemorySystem {
@@ -773,6 +791,51 @@ impl MemorySystem {
                 self.stats.prefetches_no_resource += 1;
                 PrefetchResult::NoResource
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event horizon: fast-forward support.
+    // ------------------------------------------------------------------
+
+    /// The earliest future cycle at which the memory system can change
+    /// state on its own: the next scheduled delivery. Everything the
+    /// system does is driven by the scheduler heap — every busy directory
+    /// line has a `LineFree` scheduled at its release cycle, every message
+    /// a delivery cycle — so after [`Self::tick`] has drained events due
+    /// `<= now`, the heap's minimum is a sound horizon. Directory requests
+    /// parked behind a busy line wake at that line's `LineFree`; the armed
+    /// fault injector triggers on message *delivery* (it has no timed
+    /// component of its own). `None` means nothing is pending: no future
+    /// cycle changes anything until a processor issues a new access.
+    #[must_use]
+    pub fn next_event(&self) -> Option<u64> {
+        self.sched.peek().map(|s| s.at)
+    }
+
+    /// A cheap, read-only fingerprint of every observable piece of
+    /// memory-system state a cycle of servicing could change. Two equal
+    /// fingerprints straddling a [`Self::tick`] prove the tick was a pure
+    /// no-op, which is what lets the machine fast-forward over it. The
+    /// monotone ID counters make balanced changes visible: a scheduler
+    /// pop+push keeps `sched` the same length but always bumps `next_seq`,
+    /// and a failed (retried) demand issue bumps `next_token` even though
+    /// nothing else moved. Directory requests parked into per-line waiter
+    /// queues keep `dir.queue_len()` constant, but parking only happens on
+    /// the tick that drains `pending` — subsequent ticks see an empty
+    /// pending queue and change nothing.
+    #[must_use]
+    pub fn quiescence(&self) -> MemQuiescence {
+        MemQuiescence {
+            stats: self.stats,
+            next_txn: self.next_txn,
+            next_seq: self.next_seq,
+            next_token: self.next_token,
+            sched_len: self.sched.len(),
+            dir_queue_len: self.dir.queue_len(),
+            outbox_len: self.outbox.iter().map(Vec::len).sum(),
+            bound_values_len: self.bound_values.len(),
+            fault: self.fault.is_some(),
         }
     }
 

@@ -191,6 +191,56 @@ impl HitCompletion {
     }
 }
 
+/// The breakdown component a cycle was attributed to (one variant per
+/// [`crate::stats::CycleBreakdown`] field) — remembered so a span of
+/// frozen cycles can be bulk-accounted identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallBucket {
+    Busy,
+    Read,
+    Write,
+    Acquire,
+    Rollback,
+    Fetch,
+}
+
+/// A read-only summary of the core's mutable state, compared across a
+/// tick to detect quiescence (see [`Processor::quiescence`]). Accounting
+/// state (`breakdown`, `stall_cycles`) is deliberately excluded: those
+/// counters advance even in cycles where nothing architectural happens,
+/// and fast-forwarding replays them exactly via
+/// [`Processor::account_skipped`]. Everything else either shows up in a
+/// stat counter, a queue length, or one of the per-entry flag counts
+/// below; transitions that clear a flag (squash, reissue) always bump a
+/// stat (`rollbacks`, `reissues`, `branch_mispredicts`), so balanced
+/// flag flips cannot cancel out invisibly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcQuiescence {
+    stats: ProcStats,
+    pc: u32,
+    fetch_stalled_until: u64,
+    fetch_done: bool,
+    program_finished: bool,
+    halted: bool,
+    fault: bool,
+    /// ROB: (len, finishes_at set, value set, completed, dispatched,
+    /// resolved, mem_performed, speculative, in_store_buffer).
+    rob: [usize; 9],
+    /// Store buffer: (len, rob_released, issued, prefetch_sent).
+    sb: [usize; 4],
+    /// Spec buffer: (len, done, bound, store_tag, forward_src).
+    spec: [usize; 5],
+    /// Load queue: (len, issued, prefetch_sent).
+    loads: [usize; 3],
+    addr_queue: usize,
+    sw_prefetches: usize,
+    awaiting: usize,
+    txn_tokens: usize,
+    sb_txn: usize,
+    hit_completions: usize,
+    forward_waiters: usize,
+}
+
 /// One out-of-order processor.
 #[derive(Debug)]
 pub struct Processor {
@@ -220,6 +270,14 @@ pub struct Processor {
     /// Whether this cycle's port consumer was a prefetch (the stall
     /// counter must still see waiting demand work behind it).
     port_used_by_prefetch: bool,
+    /// Breakdown component the most recent accounted cycle landed in.
+    /// While the core's state is frozen (a fast-forwarded span), every
+    /// cycle classifies identically, so this one remembered verdict is
+    /// enough to bulk-account the whole span ([`Self::account_skipped`]).
+    last_bucket: StallBucket,
+    /// Whether the most recent cycle bumped `stats.stall_cycles` (same
+    /// replay logic as `last_bucket`).
+    last_stalled: bool,
     stats: ProcStats,
     trace: Vec<CoreEvent>,
     trace_enabled: bool,
@@ -254,6 +312,8 @@ impl Processor {
             sw_prefetches: VecDeque::new(),
             port_used: false,
             port_used_by_prefetch: false,
+            last_bucket: StallBucket::Busy,
+            last_stalled: false,
             stats: ProcStats::default(),
             trace: Vec::new(),
             trace_enabled: false,
@@ -354,6 +414,107 @@ impl Processor {
     #[must_use]
     pub fn rob_len(&self) -> usize {
         self.rob.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Event horizon: fast-forward support.
+    // ------------------------------------------------------------------
+
+    /// The earliest cycle after `now` at which this core can change state
+    /// *without* external input: a scheduled hit completion, an ALU
+    /// result finishing, or the frontend's refetch stall expiring. All
+    /// other progress (fills, grants, coherence hazards) arrives through
+    /// the memory system, whose own horizon covers it. `None` means the
+    /// core is halted or purely event-driven right now. A fetch stage
+    /// blocked on reorder-buffer space needs no timed entry: it can only
+    /// resume after a retirement, which is a state change some other
+    /// horizon (or this cycle) produces.
+    #[must_use]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.halted {
+            return None;
+        }
+        let mut horizon: Option<u64> = None;
+        let mut add = |at: u64| horizon = Some(horizon.map_or(at, |h| h.min(at)));
+        for (at, _) in &self.hit_completions {
+            add(*at);
+        }
+        for e in self.rob.iter() {
+            if let Some(f) = e.finishes_at {
+                if e.value.is_none() {
+                    add(f);
+                }
+            }
+        }
+        if !self.fetch_done && self.fetch_stalled_until > now {
+            add(self.fetch_stalled_until);
+        }
+        horizon
+    }
+
+    /// A cheap, read-only fingerprint of the core's mutable state (minus
+    /// pure accounting — see [`ProcQuiescence`]). Two equal fingerprints
+    /// straddling a tick prove the tick changed nothing architectural,
+    /// making the cycle (and any identical cycles after it, up to the
+    /// machine's event horizon) skippable.
+    #[must_use]
+    pub fn quiescence(&self) -> ProcQuiescence {
+        let mut stats = self.stats;
+        stats.stall_cycles = 0;
+        stats.breakdown = crate::stats::CycleBreakdown::default();
+        let mut rob = [0usize; 9];
+        rob[0] = self.rob.len();
+        for e in self.rob.iter() {
+            rob[1] += usize::from(e.finishes_at.is_some());
+            rob[2] += usize::from(e.value.is_some());
+            rob[3] += usize::from(e.completed);
+            rob[4] += usize::from(e.dispatched);
+            rob[5] += usize::from(e.resolved);
+            rob[6] += usize::from(e.mem_performed);
+            rob[7] += usize::from(e.speculative);
+            rob[8] += usize::from(e.in_store_buffer);
+        }
+        let mut sb = [0usize; 4];
+        sb[0] = self.sb.len();
+        for e in self.sb.iter() {
+            sb[1] += usize::from(e.rob_released);
+            sb[2] += usize::from(matches!(e.state, SbState::Issued { .. }));
+            sb[3] += usize::from(e.prefetch_sent);
+        }
+        let mut spec = [0usize; 5];
+        spec[0] = self.specbuf.len();
+        for e in self.specbuf.iter() {
+            spec[1] += usize::from(e.done);
+            spec[2] += usize::from(e.bound.is_some());
+            spec[3] += usize::from(e.store_tag.is_some());
+            spec[4] += usize::from(e.forward_src.is_some());
+        }
+        let mut loads = [0usize; 3];
+        loads[0] = self.load_queue.len();
+        for r in &self.load_queue {
+            loads[1] += usize::from(matches!(r.state, LoadState::Issued { .. }));
+            loads[2] += usize::from(r.prefetch_sent);
+        }
+        ProcQuiescence {
+            stats,
+            pc: self.pc,
+            fetch_stalled_until: self.fetch_stalled_until,
+            fetch_done: self.fetch_done,
+            program_finished: self.program_finished,
+            halted: self.halted,
+            fault: self.fault.is_some(),
+            rob,
+            sb,
+            spec,
+            loads,
+            addr_queue: self.addr_queue.len(),
+            sw_prefetches: self.sw_prefetches.len(),
+            awaiting: self.awaiting.len(),
+            txn_tokens: self.txn_tokens.len(),
+            sb_txn: self.sb_txn.len(),
+            hit_completions: self.hit_completions.len(),
+            forward_waiters: self.forward_waiters.len(),
+        }
     }
 
     /// Checks the core's buffer-ordering invariants — the reorder buffer,
@@ -478,11 +639,12 @@ impl Processor {
         // Demand work waited while no demand access took the port —
         // whether the port sat idle (consistency delay arcs) or was
         // consumed by a prefetch.
-        if (!self.port_used || self.port_used_by_prefetch)
-            && (!self.load_queue.is_empty() || !self.sb.is_empty())
-        {
+        let stalled = (!self.port_used || self.port_used_by_prefetch)
+            && (!self.load_queue.is_empty() || !self.sb.is_empty());
+        if stalled {
             self.stats.stall_cycles += 1;
         }
+        self.last_stalled = stalled;
         if self.program_finished
             && self.sb.is_empty()
             && self.load_queue.is_empty()
@@ -507,31 +669,57 @@ impl Processor {
     /// reorder-buffer head (the paper's Section 5 execution-time
     /// decomposition).
     fn account_cycle(&mut self, now: u64, retired: u64) {
-        let b = &mut self.stats.breakdown;
-        if retired > 0 {
-            b.busy += 1;
-            return;
-        }
-        if let Some(head) = self.rob.head() {
+        let bucket = if retired > 0 {
+            StallBucket::Busy
+        } else if let Some(head) = self.rob.head() {
             match AccessClass::of_instr(&head.instr) {
-                Some(c) if c.is_acquire() => b.acquire_stall += 1,
-                Some(c) if c.reads => b.read_stall += 1,
-                Some(_) => b.write_stall += 1,
+                Some(c) if c.is_acquire() => StallBucket::Acquire,
+                Some(c) if c.reads => StallBucket::Read,
+                Some(_) => StallBucket::Write,
                 // ALU/branch (or a not-yet-dispatched hint) at the head,
                 // still executing: the processor is doing useful work.
-                None => b.busy += 1,
+                None => StallBucket::Busy,
             }
         } else if !self.sb.is_empty() || !self.load_queue.is_empty() || !self.awaiting.is_empty() {
             // Program committed, store buffer (or a stray demand access)
             // still draining — the post-halt write stall SC pays and RC
             // overlaps.
-            b.write_stall += 1;
+            StallBucket::Write
         } else if now < self.fetch_stalled_until {
             // Refetching after a squash: correction overhead.
-            b.rollback_stall += 1;
+            StallBucket::Rollback
         } else {
-            b.fetch_stall += 1;
+            StallBucket::Fetch
+        };
+        self.last_bucket = bucket;
+        self.bump_bucket(bucket, 1);
+    }
+
+    fn bump_bucket(&mut self, bucket: StallBucket, n: u64) {
+        let b = &mut self.stats.breakdown;
+        match bucket {
+            StallBucket::Busy => b.busy += n,
+            StallBucket::Read => b.read_stall += n,
+            StallBucket::Write => b.write_stall += n,
+            StallBucket::Acquire => b.acquire_stall += n,
+            StallBucket::Rollback => b.rollback_stall += n,
+            StallBucket::Fetch => b.fetch_stall += n,
         }
+    }
+
+    /// Bulk-accounts `n` fast-forwarded cycles exactly as per-cycle
+    /// simulation would have: a skipped span is by construction a stretch
+    /// of frozen state, so every cycle in it repeats the classification
+    /// (and port-stall verdict) of the quiescent cycle that opened it.
+    /// No-op for a halted core, which per-cycle ticks stop accounting.
+    pub fn account_skipped(&mut self, n: u64) {
+        if self.halted || n == 0 {
+            return;
+        }
+        if self.last_stalled {
+            self.stats.stall_cycles += n;
+        }
+        self.bump_bucket(self.last_bucket, n);
     }
 
     // ------------------------------------------------------------------

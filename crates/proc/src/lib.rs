@@ -46,5 +46,5 @@ pub mod stats;
 pub mod storebuf;
 
 pub use config::{ProcConfig, Techniques};
-pub use core::{CoreEvent, Processor};
+pub use core::{CoreEvent, ProcQuiescence, Processor};
 pub use stats::{CycleBreakdown, ProcStats};

@@ -25,6 +25,8 @@ const USAGE: &str = "usage: mcsim-sweep [options]
   --timing-json FILE write wall-clock timing telemetry as JSON (not
                      deterministic: varies run to run)
   --csv FILE         write the result rows as CSV
+  --no-fast-forward  step every cycle instead of skipping quiescent spans
+                     (slower; results are bit-identical either way)
   --quiet            suppress tables and progress telemetry";
 
 struct Args {
@@ -35,6 +37,7 @@ struct Args {
     json: Option<String>,
     timing_json: Option<String>,
     csv: Option<String>,
+    no_fast_forward: bool,
     quiet: bool,
 }
 
@@ -47,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         json: None,
         timing_json: None,
         csv: None,
+        no_fast_forward: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -84,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--timing-json" => args.timing_json = Some(value("--timing-json")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--no-fast-forward" => args.no_fast_forward = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -115,6 +120,7 @@ fn run() -> Result<(), String> {
     let opts = ExecOptions {
         jobs: args.jobs,
         progress: !args.quiet,
+        fast_forward: !args.no_fast_forward,
     };
     let run = run_sweep(&spec, &opts)?;
 
@@ -135,12 +141,13 @@ fn run() -> Result<(), String> {
             }
         }
         println!(
-            "{} points, {} jobs, {:.2}s wall ({:.1} pts/s, {:.2}M sim-cycles/s)",
+            "{} points, {} jobs, {:.2}s wall ({:.1} pts/s, {:.2}M sim-cycles/s, {:.1}x fast-forward)",
             run.result.rows.len(),
             run.timing.jobs,
             run.timing.wall_seconds,
             run.timing.points_per_second,
             run.timing.sim_cycles_per_second / 1e6,
+            run.timing.fast_forward_speedup,
         );
     }
 

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use mcsim_core::Machine;
+use mcsim_core::{Machine, RunTelemetry};
 
 use crate::progress::ProgressState;
 use crate::result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
@@ -32,6 +32,10 @@ pub struct ExecOptions {
     pub jobs: usize,
     /// Emit periodic progress telemetry to stderr.
     pub progress: bool,
+    /// Event-horizon fast-forwarding in the machine loop. Results are
+    /// bit-identical either way; off trades wall-clock for a per-cycle
+    /// reference run.
+    pub fast_forward: bool,
 }
 
 impl Default for ExecOptions {
@@ -39,6 +43,7 @@ impl Default for ExecOptions {
         ExecOptions {
             jobs: 1,
             progress: false,
+            fast_forward: true,
         }
     }
 }
@@ -59,7 +64,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
     let started = Instant::now();
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(PointRecord, f64)>>> =
+    let slots: Vec<Mutex<Option<(PointRecord, f64, RunTelemetry)>>> =
         points.iter().map(|_| Mutex::new(None)).collect();
     let progress = ProgressState::new(points.len());
 
@@ -69,13 +74,14 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(idx) else { break };
                 let point_started = Instant::now();
-                let record = run_point(point);
+                let (record, telemetry) = run_point(point, opts.fast_forward);
                 let wall = point_started.elapsed().as_secs_f64();
                 progress.record(
                     record.outcome.cycles().unwrap_or(0),
                     !record.outcome.is_done(),
+                    &telemetry,
                 );
-                *slots[idx].lock().expect("slot poisoned") = Some((record, wall));
+                *slots[idx].lock().expect("slot poisoned") = Some((record, wall, telemetry));
             });
         }
         if opts.progress {
@@ -90,13 +96,17 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
 
     let mut rows = Vec::with_capacity(points.len());
     let mut point_seconds = Vec::with_capacity(points.len());
+    let mut stepped_cycles = 0u64;
+    let mut skipped_cycles = 0u64;
     for slot in slots {
-        let (record, wall) = slot
+        let (record, wall, telemetry) = slot
             .into_inner()
             .expect("slot poisoned")
             .expect("every point ran");
         rows.push(record);
         point_seconds.push(wall);
+        stepped_cycles += telemetry.stepped_cycles;
+        skipped_cycles += telemetry.skipped_cycles;
     }
 
     let wall_seconds = started.elapsed().as_secs_f64();
@@ -115,6 +125,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
         } else {
             0.0
         },
+        stepped_cycles,
+        skipped_cycles,
+        fast_forward_speedup: if stepped_cycles > 0 {
+            (stepped_cycles + skipped_cycles) as f64 / stepped_cycles as f64
+        } else {
+            1.0
+        },
     };
     Ok(SweepRun {
         result: SweepResult {
@@ -126,14 +143,16 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
 }
 
 /// Executes one grid point, converting timeouts and panics into failed
-/// outcomes.
-fn run_point(point: &SweepPoint) -> PointRecord {
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
+/// outcomes. The returned telemetry is wall-clock bookkeeping only —
+/// the record is identical with fast-forwarding on or off.
+fn run_point(point: &SweepPoint, fast_forward: bool) -> (PointRecord, RunTelemetry) {
+    let (outcome, telemetry) = catch_unwind(AssertUnwindSafe(|| {
         let cfg = point.machine_config();
         let mut machine = Machine::new(cfg, point.workload.programs(point.seed));
+        machine.set_fast_forward(fast_forward);
         point.workload.setup(&mut machine);
-        let report = machine.run();
-        if let Some(error) = report.failure {
+        let (report, telemetry) = machine.run_telemetry();
+        let outcome = if let Some(error) = report.failure {
             PointOutcome::Failed { error }
         } else if report.timed_out {
             PointOutcome::TimedOut {
@@ -141,12 +160,18 @@ fn run_point(point: &SweepPoint) -> PointRecord {
             }
         } else {
             PointOutcome::Done(PointMetrics::from_report(&report))
-        }
+        };
+        (outcome, telemetry)
     }))
-    .unwrap_or_else(|payload| PointOutcome::Panicked {
-        message: panic_message(payload.as_ref()),
+    .unwrap_or_else(|payload| {
+        (
+            PointOutcome::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+            RunTelemetry::default(),
+        )
     });
-    PointRecord::new(point, outcome)
+    (PointRecord::new(point, outcome), telemetry)
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -201,6 +226,7 @@ mod tests {
             &ExecOptions {
                 jobs: 64,
                 progress: false,
+                fast_forward: true,
             },
         )
         .expect("valid spec");

@@ -5,6 +5,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use mcsim_core::RunTelemetry;
+
 /// Shared counters for one sweep execution. Workers only ever add;
 /// the telemetry thread only ever reads.
 #[derive(Debug)]
@@ -13,6 +15,8 @@ pub struct ProgressState {
     completed: AtomicUsize,
     failed: AtomicUsize,
     sim_cycles: AtomicU64,
+    stepped_cycles: AtomicU64,
+    skipped_cycles: AtomicU64,
     started: Instant,
 }
 
@@ -25,14 +29,20 @@ impl ProgressState {
             completed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
             sim_cycles: AtomicU64::new(0),
+            stepped_cycles: AtomicU64::new(0),
+            skipped_cycles: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 
-    /// Records one finished point and the simulated cycles it covered
-    /// (0 for failed points).
-    pub fn record(&self, cycles: u64, failed: bool) {
+    /// Records one finished point: the simulated cycles it covered
+    /// (0 for failed points) and how its machine loop covered them.
+    pub fn record(&self, cycles: u64, failed: bool, telemetry: &RunTelemetry) {
         self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.stepped_cycles
+            .fetch_add(telemetry.stepped_cycles, Ordering::Relaxed);
+        self.skipped_cycles
+            .fetch_add(telemetry.skipped_cycles, Ordering::Relaxed);
         if failed {
             self.failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -51,6 +61,8 @@ impl ProgressState {
             0.0
         };
         let remaining = self.total.saturating_sub(completed);
+        let stepped = self.stepped_cycles.load(Ordering::Relaxed);
+        let skipped = self.skipped_cycles.load(Ordering::Relaxed);
         ProgressSnapshot {
             total: self.total,
             completed,
@@ -61,6 +73,11 @@ impl ProgressState {
                 self.sim_cycles.load(Ordering::Relaxed) as f64 / elapsed
             } else {
                 0.0
+            },
+            fast_forward_speedup: if stepped > 0 {
+                (stepped + skipped) as f64 / stepped as f64
+            } else {
+                1.0
             },
             eta_secs: if points_per_sec > 0.0 {
                 remaining as f64 / points_per_sec
@@ -92,6 +109,8 @@ pub struct ProgressSnapshot {
     pub points_per_sec: f64,
     /// Simulated cycles retired per wall second.
     pub sim_cycles_per_sec: f64,
+    /// Simulated cycles per stepped cycle so far (1.0 = no skipping).
+    pub fast_forward_speedup: f64,
     /// Estimated seconds to completion at the current rate.
     pub eta_secs: f64,
 }
@@ -100,12 +119,13 @@ impl std::fmt::Display for ProgressSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{} points ({} failed) | {:.1} pts/s | {:.2}M sim-cycles/s | ETA {}",
+            "{}/{} points ({} failed) | {:.1} pts/s | {:.2}M sim-cycles/s | {:.1}x ff | ETA {}",
             self.completed,
             self.total,
             self.failed,
             self.points_per_sec,
             self.sim_cycles_per_sec / 1e6,
+            self.fast_forward_speedup,
             if self.eta_secs.is_finite() {
                 format!("{:.0}s", self.eta_secs)
             } else {
@@ -119,26 +139,37 @@ impl std::fmt::Display for ProgressSnapshot {
 mod tests {
     use super::*;
 
+    fn telemetry(stepped: u64, skipped: u64) -> RunTelemetry {
+        RunTelemetry {
+            stepped_cycles: stepped,
+            skipped_cycles: skipped,
+            spans: u64::from(skipped > 0),
+        }
+    }
+
     #[test]
     fn counters_accumulate() {
         let p = ProgressState::new(3);
         assert!(!p.done());
-        p.record(100, false);
-        p.record(0, true);
-        p.record(50, false);
+        p.record(100, false, &telemetry(100, 0));
+        p.record(0, true, &telemetry(0, 0));
+        p.record(50, false, &telemetry(10, 40));
         assert!(p.done());
         let s = p.snapshot();
         assert_eq!((s.completed, s.failed, s.total), (3, 1, 3));
         assert!(s.points_per_sec > 0.0);
         assert!(s.eta_secs.abs() < 1e-9);
+        // 150 total machine cycles, 110 stepped.
+        assert!((s.fast_forward_speedup - 150.0 / 110.0).abs() < 1e-9);
     }
 
     #[test]
     fn snapshot_renders() {
         let p = ProgressState::new(2);
-        p.record(1_000_000, false);
+        p.record(1_000_000, false, &telemetry(100_000, 900_000));
         let line = p.snapshot().to_string();
         assert!(line.contains("1/2 points"), "{line}");
+        assert!(line.contains("10.0x ff"), "{line}");
         assert!(line.contains("ETA"), "{line}");
     }
 }

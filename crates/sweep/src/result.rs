@@ -335,6 +335,15 @@ pub struct SweepTiming {
     pub points_per_second: f64,
     /// Simulated cycles per wall-second (completed points only).
     pub sim_cycles_per_second: f64,
+    /// Cycles the machine loops actually stepped, summed over points.
+    pub stepped_cycles: u64,
+    /// Cycles covered by event-horizon fast-forwarding, summed over
+    /// points (zero when skipping is disabled).
+    pub skipped_cycles: u64,
+    /// Wall-clock leverage of fast-forwarding:
+    /// `(stepped + skipped) / stepped` — how many simulated cycles each
+    /// stepped cycle paid for (1.0 when skipping is off or never engaged).
+    pub fast_forward_speedup: f64,
 }
 
 /// Everything a sweep execution produces: the deterministic result and

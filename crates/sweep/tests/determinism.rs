@@ -42,6 +42,7 @@ fn rows_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
         &ExecOptions {
             jobs,
             progress: false,
+            fast_forward: true,
         },
     )
     .expect("valid spec")

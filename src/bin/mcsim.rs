@@ -46,6 +46,9 @@ OPTIONS (run):
     --dump-on-failure <path>      write a JSON crash snapshot (failure,
                                   summary, trace tail) if the run fails;
                                   implies tracing
+    --no-fast-forward             step every cycle instead of skipping
+                                  quiescent spans (slower; the report is
+                                  bit-identical either way)
     --trace                       print the event trace
     --timeline                    print a Gantt timeline of memory ops
     --breakdown                   print the per-cause execution-time
@@ -124,6 +127,7 @@ struct RunOpts {
     timeline: bool,
     breakdown: bool,
     json: bool,
+    no_fast_forward: bool,
     dump_on_failure: Option<String>,
 }
 
@@ -136,6 +140,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         timeline: false,
         breakdown: false,
         json: false,
+        no_fast_forward: false,
         dump_on_failure: None,
     };
     let mut it = args.iter();
@@ -209,6 +214,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
             }
             "--breakdown" => o.breakdown = true,
             "--json" => o.json = true,
+            "--no-fast-forward" => o.no_fast_forward = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
             file => o.files.push(file.to_string()),
         }
@@ -221,6 +227,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let o = parse_run_opts(args)?;
     let programs = load_programs(&o.files)?;
     let mut m = Machine::new(o.cfg, programs);
+    m.set_fast_forward(!o.no_fast_forward);
     for (a, v) in &o.mem_init {
         m.write_memory(*a, *v);
     }

@@ -1,0 +1,188 @@
+//! Event-horizon fast-forwarding must be invisible in every report.
+//!
+//! The machine loop skips quiescent spans (DESIGN.md §event-horizon) but
+//! replays all per-cycle accounting — stall breakdowns, latency
+//! histograms, invariant cadence, watchdog edges — so a [`RunReport`] is
+//! **bit-identical** with skipping on or off. These tests pin that
+//! equivalence:
+//!
+//! 1. serialized-report equality across random workloads × the full
+//!    model × technique matrix (property-quantified);
+//! 2. the Figure 2 cycle pins with fast-forward explicitly off (the
+//!    default-on path is pinned by `paper_examples.rs`);
+//! 3. watchdog edges that fall *inside* a skipped span still fire — the
+//!    deadlock-classification regression for the old
+//!    `cycle % window == 0` sampler, which never sees an edge cycle the
+//!    loop does not step;
+//! 4. telemetry consistency: stepped + skipped cycles equals the
+//!    reported cycle count, and a miss-dominated workload actually skips.
+
+use mcsim::prelude::*;
+use mcsim::sim::MachineConfig as Cfg;
+use mcsim::sim::{FaultKind, RunTelemetry, StallClass};
+use mcsim::workloads::generators::{self, RandomParams};
+use mcsim::workloads::paper;
+use mcsim_consistency::Model;
+use proptest::prelude::*;
+
+/// Runs the same configuration with fast-forward on and off and returns
+/// both (report, telemetry) pairs, after asserting the reports serialize
+/// byte-identically and the telemetry covers the same span of time.
+fn run_both(cfg: Cfg, programs: Vec<Program>) -> (RunReport, RunTelemetry) {
+    let (fast, fast_t) = Machine::new(cfg, programs.clone()).run_telemetry();
+    let mut slow_machine = Machine::new(cfg, programs);
+    slow_machine.set_fast_forward(false);
+    let (slow, slow_t) = slow_machine.run_telemetry();
+    let fast_json = serde_json::to_string(&fast).expect("serializes");
+    let slow_json = serde_json::to_string(&slow).expect("serializes");
+    assert_eq!(fast_json, slow_json, "reports must be bit-identical");
+    assert_eq!(slow_t.skipped_cycles, 0, "disabled means no skipping");
+    assert_eq!(
+        fast_t.stepped_cycles + fast_t.skipped_cycles,
+        slow_t.stepped_cycles,
+        "both modes must cover exactly the same simulated span"
+    );
+    (fast, fast_t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn racy_reports_match_across_the_matrix(seed in 0u64..10_000) {
+        let params = RandomParams { procs: 2, ops: 4, addrs: 3, seed };
+        let programs = generators::random_racy(&params);
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                run_both(Cfg::paper_with(model, t), programs.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn drf_reports_match_across_models(seed in 0u64..10_000) {
+        let params = RandomParams { procs: 2, ops: 3, addrs: 2, seed };
+        let programs = generators::random_drf(&params);
+        for model in Model::ALL {
+            run_both(Cfg::paper_with(model, Techniques::BOTH), programs.clone());
+        }
+    }
+
+    #[test]
+    fn reports_match_under_every_checking_cadence(seed in 0u64..10_000) {
+        // The invariant-check cadence must be replayed exactly whatever
+        // the period: sparse, never, and (in release) the default 1024.
+        let params = RandomParams { procs: 2, ops: 4, addrs: 3, seed };
+        let programs = generators::random_racy(&params);
+        for period in [512, u64::MAX] {
+            let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+            cfg.guard.invariant_period = period;
+            run_both(cfg, programs.clone());
+        }
+    }
+}
+
+#[test]
+fn figure2_pins_hold_with_fast_forward_off() {
+    // The same table `paper_examples.rs` pins with the default-on fast
+    // path, re-asserted with skipping disabled: the loop change must not
+    // move a single paper number in either mode.
+    let ex1 = |model, t| {
+        let mut m = Machine::new(Cfg::paper_with(model, t), vec![paper::example1()]);
+        m.set_fast_forward(false);
+        m.run().cycles
+    };
+    let ex2 = |model, t| {
+        let mut m = Machine::new(Cfg::paper_with(model, t), vec![paper::example2()]);
+        paper::setup_example2(&mut m);
+        m.set_fast_forward(false);
+        m.run().cycles
+    };
+    assert_eq!(ex1(Model::Sc, Techniques::NONE), 301);
+    assert_eq!(ex1(Model::Rc, Techniques::NONE), 202);
+    assert_eq!(ex1(Model::Sc, Techniques::PREFETCH), 103);
+    assert_eq!(ex1(Model::Rc, Techniques::PREFETCH), 103);
+    assert_eq!(ex2(Model::Sc, Techniques::NONE), 302);
+    assert_eq!(ex2(Model::Rc, Techniques::NONE), 203);
+    assert_eq!(ex2(Model::Sc, Techniques::PREFETCH), 203);
+    assert_eq!(ex2(Model::Rc, Techniques::PREFETCH), 202);
+    assert_eq!(ex2(Model::Sc, Techniques::BOTH), 104);
+    assert_eq!(ex2(Model::Rc, Techniques::BOTH), 104);
+}
+
+#[test]
+fn figure2_examples_fast_forward_and_stay_identical() {
+    // The paper walkthroughs are miss-dominated: most of their cycles
+    // are quiescent waits on 100-cycle fills, so the fast path must
+    // actually engage — while leaving the report untouched (run_both
+    // asserts byte equality).
+    let (report, telemetry) = run_both(
+        Cfg::paper_with(Model::Sc, Techniques::NONE),
+        vec![paper::example1()],
+    );
+    assert_eq!(report.cycles, 301);
+    assert!(
+        telemetry.skipped_cycles > report.cycles / 2,
+        "example 1 is miss-dominated; skipped only {} of {}",
+        telemetry.skipped_cycles,
+        report.cycles
+    );
+    assert!(telemetry.spans > 0);
+    assert!(telemetry.speedup() > 1.5);
+}
+
+#[test]
+fn watchdog_fires_on_an_edge_the_loop_never_steps() {
+    // A stuck MSHR freezes the only load: after the drop the machine is
+    // totally quiescent with nothing scheduled, so the fast path jumps
+    // straight toward max_cycles and the watchdog's window edge lies
+    // strictly inside the skipped span. The old sampler (`cycle %
+    // window == 0`, checked only on stepped cycles) never observes that
+    // edge; edge-crossing sampling must still classify the deadlock at
+    // exactly the cycle per-cycle stepping reports.
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+    cfg.guard.fault = Some(FaultKind::StuckMshr { nth: 1 });
+    cfg.guard.watchdog_window = 1_000;
+    cfg.max_cycles = 50_000;
+    let prog = ProgramBuilder::new("stuck")
+        .load(mcsim_isa::reg::R1, 0x4000u64)
+        .halt()
+        .build()
+        .unwrap();
+    let (report, telemetry) = run_both(cfg, vec![prog]);
+    let failure = report.failure.as_ref().expect("watchdog must fire");
+    let stall = failure.stall().expect("NoProgress expected");
+    assert_eq!(stall.class, StallClass::Deadlock);
+    assert_eq!(failure.cycle % 1_000, 0, "fires on a window edge");
+    assert_eq!(report.cycles, failure.cycle);
+    assert!(
+        telemetry.stepped_cycles < failure.cycle,
+        "the firing edge (cycle {}) must lie beyond the last stepped \
+         cycle ({}) — i.e. inside a skipped span",
+        failure.cycle,
+        telemetry.stepped_cycles
+    );
+}
+
+#[test]
+fn timeout_telemetry_accounts_for_the_whole_span() {
+    // An unsatisfied dependence with the watchdog disabled runs to the
+    // plain timeout; the fast path must land on exactly max_cycles with
+    // stepped + skipped covering it, and the report matching per-cycle.
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::NONE);
+    cfg.guard.fault = Some(FaultKind::StuckMshr { nth: 1 });
+    cfg.guard.watchdog_window = 0;
+    cfg.max_cycles = 5_000;
+    let prog = ProgramBuilder::new("stuck")
+        .load(mcsim_isa::reg::R1, 0x4000u64)
+        .halt()
+        .build()
+        .unwrap();
+    let (report, telemetry) = run_both(cfg, vec![prog]);
+    assert!(report.timed_out);
+    assert_eq!(report.cycles, 5_000);
+    assert!(telemetry.skipped_cycles > 4_000, "{telemetry:?}");
+}
