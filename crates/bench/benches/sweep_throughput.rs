@@ -20,7 +20,7 @@ fn bench_e6_grid(c: &mut Criterion) {
                     &ExecOptions {
                         jobs,
                         progress: false,
-                        fast_forward: true,
+                        ..ExecOptions::default()
                     },
                 )
                 .expect("built-in spec is valid");

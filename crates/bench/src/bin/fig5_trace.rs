@@ -1,11 +1,11 @@
 //! E5 — Figure 5: the illustrative execution with a mid-flight
-//! invalidation of D, printed as an event walk (the golden-sequence
-//! assertions live in `tests/figure5_trace.rs`).
+//! invalidation of D, printed as an event walk plus the buffer-occupancy
+//! timeline (the golden-file assertions live in `tests/figure5_trace.rs`).
 
 use mcsim_consistency::Model;
 use mcsim_core::{Machine, MachineConfig};
-use mcsim_proc::core::EventKind;
 use mcsim_proc::Techniques;
+use mcsim_trace::{fig5, TraceFilter};
 use mcsim_workloads::paper;
 
 fn main() {
@@ -21,44 +21,18 @@ fn main() {
     println!("Figure 5 — SC, speculative loads + prefetch for stores");
     println!("code: read A (dirty remote); write B; write C; read D (hit); read E[D]");
     println!("antagonist: processor 1 writes D ≈ cycle 150 (invalidation)\n");
-    for e in &report.traces[0] {
-        let what = match &e.kind {
-            EventKind::LoadIssued {
-                addr,
-                outcome,
-                speculative,
-            } => {
-                format!(
-                    "load  {addr:<9} issued ({outcome:?}{})",
-                    if *speculative { ", speculative" } else { "" }
-                )
-            }
-            EventKind::StoreIssued { addr, outcome } => {
-                format!("store {addr:<9} issued ({outcome:?})")
-            }
-            EventKind::PrefetchIssued { addr, exclusive } => {
-                format!(
-                    "{} prefetch {addr}",
-                    if *exclusive { "read-ex" } else { "read" }
-                )
-            }
-            EventKind::Performed { addr } => format!("access {addr:<8} performed"),
-            EventKind::StoreReleased => "store released by reorder buffer".into(),
-            EventKind::SpecRetired => "speculative-load entry retired".into(),
-            EventKind::Rollback { line, squashed } => {
-                format!("INVALIDATION matched {line}: rollback, {squashed} instrs discarded & refetched")
-            }
-            EventKind::Reissue { line } => format!("invalidation matched {line}: load reissued"),
-            EventKind::RmwPartialRollback { line } => {
-                format!("match on issued RMW {line}: tail discarded")
-            }
-            EventKind::BranchMispredicted => "branch mispredicted".into(),
-            EventKind::HaltCommitted => "halt committed".into(),
-        };
-        println!("cycle {:>4}  [pc {:>2}] {}", e.cycle, e.pc, what);
+    let filter = TraceFilter {
+        proc: Some(0),
+        ..TraceFilter::default()
+    };
+    for e in filter.apply(&report.trace) {
+        let pc = e.pc.map_or_else(|| "  ".into(), |pc| format!("{pc:>2}"));
+        println!("cycle {:>4}  [pc {pc}] {}", e.cycle, e.kind);
     }
     println!();
-    print!("{}", mcsim_core::render_timeline(&report.traces, 76));
+    print!("{}", fig5::render(&report.trace, &filter));
+    println!();
+    print!("{}", mcsim_core::render_timeline(&report.trace, 76));
     println!(
         "\ntotal: {} cycles, {} rollback(s)",
         report.cycles, report.total.rollbacks

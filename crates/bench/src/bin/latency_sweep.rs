@@ -15,8 +15,7 @@ fn main() {
         &spec,
         &ExecOptions {
             jobs: jobs_from_args(),
-            progress: false,
-            fast_forward: true,
+            ..ExecOptions::default()
         },
     )
     .expect("built-in spec is valid");

@@ -6,6 +6,7 @@ use mcsim_guard::{GuardConfig, SimError, StallReport};
 use mcsim_isa::{Addr, Program};
 use mcsim_mem::{MemConfig, MemQuiescence, MemorySystem};
 use mcsim_proc::{ProcConfig, ProcQuiescence, Processor, Techniques};
+use mcsim_trace::{merge_traces, DEFAULT_CAPACITY};
 use serde::{Deserialize, Serialize};
 
 /// Everything needed to build a [`Machine`].
@@ -154,6 +155,9 @@ impl Machine {
         if let Some(kind) = cfg.guard.fault {
             mem.arm_fault(kind);
         }
+        if cfg.trace {
+            mem.enable_trace(DEFAULT_CAPACITY);
+        }
         let mut proc_cfg = cfg.proc;
         proc_cfg.techniques = cfg.techniques;
         let procs = programs
@@ -162,7 +166,7 @@ impl Machine {
             .map(|(i, prog)| {
                 let mut p = Processor::new(i, proc_cfg, cfg.model, prog);
                 if cfg.trace {
-                    p.enable_trace();
+                    p.enable_trace(DEFAULT_CAPACITY);
                 }
                 p
             })
@@ -408,7 +412,17 @@ impl Machine {
             // must match. Ticking is side-effect-free here: no scheduled
             // event is due before the horizon and the directory queue is
             // drained (quiescent), so only its clock moves.
+            let emitted_before = self.mem.trace_emitted();
             self.mem.tick(m - 1);
+            // Quiescent spans emit no trace events by construction — the
+            // emission counters are part of the quiescence fingerprints,
+            // and the in-span tick above must not move them either, or
+            // traces would diverge between stepping and fast-forwarding.
+            debug_assert_eq!(
+                self.mem.trace_emitted(),
+                emitted_before,
+                "fast-forwarded span emitted trace events"
+            );
             self.check_invariants()?;
         }
         if let Some((edge, report)) = watchdog.observe_up_to(target, &self.procs, &self.mem) {
@@ -447,7 +461,12 @@ impl Machine {
             total.merge(s);
         }
         let regfiles = self.procs.iter().map(|p| p.regfile().clone()).collect();
-        let traces = self.procs.iter_mut().map(Processor::take_trace).collect();
+        let trace_dropped =
+            self.mem.trace_dropped() + self.procs.iter().map(Processor::trace_dropped).sum::<u64>();
+        let trace = merge_traces(
+            self.mem.take_trace(),
+            self.procs.iter_mut().map(Processor::take_trace).collect(),
+        );
         RunReport {
             cycles,
             timed_out,
@@ -456,7 +475,8 @@ impl Machine {
             total,
             mem: *self.mem.stats(),
             regfiles,
-            traces,
+            trace,
+            trace_dropped,
             memory: self.mem.snapshot_coherent(),
         }
     }

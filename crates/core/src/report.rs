@@ -4,7 +4,8 @@ use mcsim_guard::SimError;
 use mcsim_isa::reg::RegFile;
 use mcsim_isa::RegId;
 use mcsim_mem::MemStats;
-use mcsim_proc::{CoreEvent, ProcStats};
+use mcsim_proc::ProcStats;
+use mcsim_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -28,8 +29,13 @@ pub struct RunReport {
     pub mem: MemStats,
     /// Final architectural register files.
     pub regfiles: Vec<RegFile>,
-    /// Event traces (empty unless tracing was enabled).
-    pub traces: Vec<Vec<CoreEvent>>,
+    /// The merged machine-wide event trace, sorted by cycle with the
+    /// memory system's events ahead of the cores' within a cycle — the
+    /// exact global emission order (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Events evicted from the bounded trace rings (0 unless a run
+    /// outgrew the ring capacity; the kept tail is still exact).
+    pub trace_dropped: u64,
     /// Coherent final memory image (word address → value) over every
     /// touched line.
     pub memory: BTreeMap<u64, u64>,
@@ -97,7 +103,8 @@ mod tests {
             },
             mem: MemStats::default(),
             regfiles: vec![],
-            traces: vec![],
+            trace: vec![],
+            trace_dropped: 0,
             memory: BTreeMap::new(),
         };
         let s = r.summary();
@@ -124,7 +131,8 @@ mod tests {
                 ..Default::default()
             },
             regfiles: vec![],
-            traces: vec![],
+            trace: vec![],
+            trace_dropped: 0,
             memory: BTreeMap::new(),
         };
         assert!(r.summary().contains("hit rate 25.0%"), "{}", r.summary());
@@ -140,7 +148,8 @@ mod tests {
             total: ProcStats::default(),
             mem: MemStats::default(),
             regfiles: vec![],
-            traces: vec![],
+            trace: vec![],
+            trace_dropped: 0,
             memory: BTreeMap::from([(8, 5)]),
         };
         assert_eq!(r.mem_word(8), 5);

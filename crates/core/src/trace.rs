@@ -1,102 +1,101 @@
 //! Text timeline and breakdown rendering.
 //!
-//! [`render_timeline`] turns the per-core [`CoreEvent`] streams into a
+//! [`render_timeline`] turns the merged [`TraceEvent`] stream into a
 //! Gantt-style view: one lane per memory operation, bars spanning
 //! issue → perform, with markers for prefetches, rollbacks and reissues.
 //! This is how the paper's pipelining arguments become *visible*:
 //! conventional SC shows a staircase; the techniques show overlapped
-//! bars.
+//! bars. (The Figure-5 buffer-occupancy view, Chrome JSON, and CSV
+//! exporters live in [`mcsim_trace`].)
 //!
 //! [`render_breakdown`] turns the per-core [`CycleBreakdown`] counters
 //! into the paper's Section 5 stacked execution-time bars: each core's
 //! cycles split into busy time and per-cause stall components.
 
 use crate::report::RunReport;
-use mcsim_proc::core::{CoreEvent, EventKind, IssueOutcome};
 use mcsim_proc::CycleBreakdown;
+use mcsim_trace::{IssueOutcome, TraceEvent, TraceKind};
 use std::fmt::Write as _;
 
 /// One rendered operation.
 #[derive(Debug, Clone)]
 struct Span {
     proc: usize,
-    seq: u64,
+    seq: Option<u64>,
     label: String,
     start: u64,
     end: Option<u64>,
     marker: char,
 }
 
-fn collect_spans(traces: &[Vec<CoreEvent>]) -> Vec<Span> {
+fn collect_spans(trace: &[TraceEvent]) -> Vec<Span> {
     let mut spans: Vec<Span> = Vec::new();
-    for (proc, trace) in traces.iter().enumerate() {
-        for e in trace {
-            match &e.kind {
-                EventKind::LoadIssued { addr, outcome, .. } => spans.push(Span {
-                    proc,
-                    seq: e.seq,
-                    label: format!("ld  {addr}"),
-                    start: e.cycle,
-                    end: matches!(outcome, IssueOutcome::Forwarded).then_some(e.cycle),
-                    marker: 'L',
-                }),
-                EventKind::StoreIssued { addr, .. } => spans.push(Span {
-                    proc,
-                    seq: e.seq,
-                    label: format!("st  {addr}"),
-                    start: e.cycle,
-                    end: None,
-                    marker: 'S',
-                }),
-                EventKind::PrefetchIssued { addr, exclusive } => spans.push(Span {
-                    proc,
-                    seq: e.seq,
-                    label: format!("pf{} {addr}", if *exclusive { 'x' } else { ' ' }),
-                    start: e.cycle,
-                    end: None,
-                    marker: 'P',
-                }),
-                EventKind::Performed { .. } => {
-                    // Close the most recent open span for this (proc, seq).
-                    if let Some(s) = spans
-                        .iter_mut()
-                        .rev()
-                        .find(|s| s.proc == proc && s.seq == e.seq && s.end.is_none())
-                    {
-                        s.end = Some(e.cycle);
-                    }
+    for e in trace {
+        match &e.kind {
+            TraceKind::LoadIssue { addr, outcome, .. } => spans.push(Span {
+                proc: e.proc,
+                seq: e.seq,
+                label: format!("ld  {addr}"),
+                start: e.cycle,
+                end: matches!(outcome, IssueOutcome::Forwarded).then_some(e.cycle),
+                marker: 'L',
+            }),
+            TraceKind::StoreIssue { addr, .. } => spans.push(Span {
+                proc: e.proc,
+                seq: e.seq,
+                label: format!("st  {addr}"),
+                start: e.cycle,
+                end: None,
+                marker: 'S',
+            }),
+            TraceKind::PrefetchIssue { addr, exclusive } => spans.push(Span {
+                proc: e.proc,
+                seq: e.seq,
+                label: format!("pf{} {addr}", if *exclusive { 'x' } else { ' ' }),
+                start: e.cycle,
+                end: None,
+                marker: 'P',
+            }),
+            TraceKind::Performed { .. } => {
+                // Close the most recent open span for this (proc, seq).
+                if let Some(s) = spans
+                    .iter_mut()
+                    .rev()
+                    .find(|s| s.proc == e.proc && s.seq == e.seq && s.end.is_none())
+                {
+                    s.end = Some(e.cycle);
                 }
-                EventKind::Rollback { .. } | EventKind::RmwPartialRollback { .. } => {
-                    spans.push(Span {
-                        proc,
-                        seq: e.seq,
-                        label: "ROLLBACK".to_string(),
-                        start: e.cycle,
-                        end: Some(e.cycle),
-                        marker: '!',
-                    });
-                }
-                EventKind::Reissue { .. } => spans.push(Span {
-                    proc,
+            }
+            TraceKind::Rollback { .. } | TraceKind::RmwPartialRollback { .. } => {
+                spans.push(Span {
+                    proc: e.proc,
                     seq: e.seq,
-                    label: "reissue".to_string(),
+                    label: "ROLLBACK".to_string(),
                     start: e.cycle,
                     end: Some(e.cycle),
-                    marker: '?',
-                }),
-                _ => {}
+                    marker: '!',
+                });
             }
+            TraceKind::Reissue { .. } => spans.push(Span {
+                proc: e.proc,
+                seq: e.seq,
+                label: "reissue".to_string(),
+                start: e.cycle,
+                end: Some(e.cycle),
+                marker: '?',
+            }),
+            _ => {}
         }
     }
     spans
 }
 
-/// Renders a Gantt timeline of every memory operation in `traces`,
-/// `width` columns wide. Each lane shows `issue ==== perform`; bare
-/// markers are instantaneous events (forwarded loads, rollbacks).
+/// Renders a Gantt timeline of every memory operation in the merged
+/// `trace`, `width` columns wide. Each lane shows `issue ==== perform`;
+/// bare markers are instantaneous events (forwarded loads, rollbacks).
 #[must_use]
-pub fn render_timeline(traces: &[Vec<CoreEvent>], width: usize) -> String {
-    let spans = collect_spans(traces);
+pub fn render_timeline(trace: &[TraceEvent], width: usize) -> String {
+    let spans = collect_spans(trace);
     let Some(max_cycle) = spans
         .iter()
         .map(|s| s.end.unwrap_or(s.start))
@@ -234,7 +233,7 @@ mod tests {
     use mcsim_isa::ProgramBuilder;
     use mcsim_proc::Techniques;
 
-    fn traced_run(t: Techniques) -> Vec<Vec<CoreEvent>> {
+    fn traced_run(t: Techniques) -> Vec<TraceEvent> {
         let prog = ProgramBuilder::new("t")
             .store(0x1000u64, 1u64)
             .store(0x1080u64, 2u64)
@@ -245,7 +244,7 @@ mod tests {
         cfg.trace = true;
         let report = Machine::new(cfg, vec![prog]).run();
         assert!(!report.timed_out);
-        report.traces
+        report.trace
     }
 
     #[test]
@@ -263,7 +262,18 @@ mod tests {
 
     #[test]
     fn empty_trace_renders_placeholder() {
-        assert!(render_timeline(&[Vec::new()], 60).contains("no timed events"));
+        assert!(render_timeline(&[], 60).contains("no timed events"));
+    }
+
+    #[test]
+    fn trace_events_round_trip_through_json() {
+        // The trace crate has no serde_json dependency of its own; the
+        // taxonomy's JSON round-trip is pinned here instead.
+        let trace = traced_run(Techniques::BOTH);
+        assert!(!trace.is_empty());
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
     }
 
     #[test]

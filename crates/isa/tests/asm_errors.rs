@@ -1,0 +1,83 @@
+//! Assembler error paths: every rejection must carry the offending
+//! 1-based source line (0 for program-level validation) and a message
+//! naming the bad token, so `mcsim asm`/`mcsim run` diagnostics point at
+//! the actual mistake.
+
+use mcsim_isa::asm::{assemble, AsmError};
+
+fn expect_err(src: &str) -> AsmError {
+    assemble("t", src).expect_err("source must be rejected")
+}
+
+#[test]
+fn bad_register_is_rejected_with_line() {
+    let e = expect_err("ld r99, [0x1000]\nhalt\n");
+    assert_eq!(e.line, 1);
+    assert!(e.msg.contains("r99"), "{e}");
+    assert!(e.msg.contains("out of range"), "{e}");
+    assert_eq!(e.to_string(), format!("asm line 1: {}", e.msg));
+}
+
+#[test]
+fn non_register_where_register_expected() {
+    let e = expect_err("nop\nld pickle, [0x40]\nhalt\n");
+    assert_eq!(e.line, 2, "line numbers are 1-based and skip nothing");
+    assert!(e.msg.contains("expected a register"), "{e}");
+    assert!(e.msg.contains("pickle"), "{e}");
+}
+
+#[test]
+fn duplicate_label_is_rejected_at_second_definition() {
+    let e = expect_err("top: nop\nnop\ntop: halt\n");
+    assert_eq!(e.line, 3, "the *second* definition is the error");
+    assert!(e.msg.contains("duplicate label `top`"), "{e}");
+}
+
+#[test]
+fn out_of_range_immediate_is_rejected() {
+    // One past u64::MAX cannot be represented; the number parser must
+    // reject it rather than wrap.
+    let e = expect_err("st [0x40], 18446744073709551616\nhalt\n");
+    assert_eq!(e.line, 1);
+    assert!(e.msg.contains("expected a number"), "{e}");
+    // Same for a hex immediate wider than 64 bits, as an address.
+    let e = expect_err("ld r1, [0x10000000000000000]\nhalt\n");
+    assert_eq!(e.line, 1);
+    assert!(e.msg.contains("expected a number"), "{e}");
+}
+
+#[test]
+fn unknown_mnemonic_label_and_suffix_errors() {
+    let e = expect_err("frob r1, r2\nhalt\n");
+    assert!(e.msg.contains("unknown mnemonic `frob`"), "{e}");
+
+    let e = expect_err("beq r1, 0, nowhere\nhalt\n");
+    assert!(e.msg.contains("unknown label `nowhere`"), "{e}");
+
+    let e = expect_err("ld.wat r1, [0x40]\nhalt\n");
+    assert!(e.msg.contains("unknown memory suffix `.wat`"), "{e}");
+
+    let e = expect_err("pf.shared [0x40]\nhalt\n");
+    assert!(e.msg.contains("unknown prefetch suffix `.shared`"), "{e}");
+}
+
+#[test]
+fn operand_arity_is_checked() {
+    let e = expect_err("ld r1\nhalt\n");
+    assert_eq!(e.line, 1);
+    assert!(e.msg.contains("expects 2 operand(s), found 1"), "{e}");
+}
+
+#[test]
+fn program_level_validation_reports_line_zero() {
+    // `jmp @9` parses but targets past the end; Program::new rejects it
+    // as a validation error, reported without a source line.
+    let e = expect_err("jmp @9\nhalt\n");
+    assert_eq!(e.line, 0);
+    assert!(e.to_string().starts_with("asm: "), "{e}");
+    assert!(e.msg.contains("outside program"), "{e}");
+
+    let e = expect_err("nop\n");
+    assert_eq!(e.line, 0);
+    assert!(e.msg.contains("no halt"), "{e}");
+}

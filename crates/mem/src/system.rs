@@ -48,6 +48,7 @@ use crate::mshr::{Mshr, MshrFault, MshrFile, PendingOp};
 use crate::stats::MemStats;
 use mcsim_guard::{FaultKind, InvariantKind, SimError};
 use mcsim_isa::{Addr, LineAddr, RmwKind};
+use mcsim_trace::{TraceBuffer, TraceEvent, TraceKind};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
@@ -144,6 +145,9 @@ pub struct MemQuiescence {
     outbox_len: usize,
     bound_values_len: usize,
     fault: bool,
+    /// Monotone count of trace events ever recorded (see
+    /// `ProcQuiescence::trace_emitted` — same structural guarantee).
+    trace_emitted: u64,
 }
 
 /// The machine-wide coherent memory system.
@@ -165,6 +169,8 @@ pub struct MemorySystem {
     /// sites). Polled by the machine loop via [`Self::take_fault`].
     fault: Option<SimError>,
     injector: Option<FaultInjector>,
+    /// Event sink; `None` (the default) makes recording a single branch.
+    tracer: Option<TraceBuffer>,
 }
 
 impl MemorySystem {
@@ -191,7 +197,47 @@ impl MemorySystem {
             now: 0,
             fault: None,
             injector: None,
+            tracer: None,
             cfg,
+        }
+    }
+
+    /// Starts recording [`TraceEvent`]s into a ring of `capacity`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Takes the retained events (emission order; the ring keeps running).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer
+            .as_mut()
+            .map(TraceBuffer::drain)
+            .unwrap_or_default()
+    }
+
+    /// Total events ever recorded (monotone — a fingerprint component).
+    #[must_use]
+    pub fn trace_emitted(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, TraceBuffer::emitted)
+    }
+
+    /// Events evicted from the ring because it was full.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, TraceBuffer::dropped)
+    }
+
+    /// Records an event at the current cycle for the given requester.
+    /// Memory-side events carry no instruction id.
+    fn emit(&mut self, proc: ProcId, kind: TraceKind) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
+                cycle: self.now,
+                proc,
+                seq: None,
+                pc: None,
+                kind,
+            });
         }
     }
 
@@ -836,6 +882,7 @@ impl MemorySystem {
             outbox_len: self.outbox.iter().map(Vec::len).sum(),
             bound_values_len: self.bound_values.len(),
             fault: self.fault.is_some(),
+            trace_emitted: self.trace_emitted(),
         }
     }
 
@@ -991,6 +1038,26 @@ impl MemorySystem {
         is_prefetch: bool,
     ) {
         let hop = self.cfg.timings.hop;
+        // Every request is sent right after its MSHR was allocated, so
+        // this is the one place both events are recorded.
+        if self.tracer.is_some() {
+            let exclusive = matches!(kind, ReqKind::GetExclusive);
+            self.emit(proc, TraceKind::MshrAllocate { line, txn: txn.0 });
+            let issue = if is_prefetch {
+                TraceKind::PrefetchTxn {
+                    line,
+                    txn: txn.0,
+                    exclusive,
+                }
+            } else {
+                TraceKind::MissIssue {
+                    line,
+                    txn: txn.0,
+                    exclusive,
+                }
+            };
+            self.emit(proc, issue);
+        }
         let req = Request {
             proc,
             line,
@@ -1136,6 +1203,14 @@ impl MemorySystem {
                 for (token, op) in m.pending {
                     self.apply_op(proc, token, op);
                 }
+                self.emit(
+                    proc,
+                    TraceKind::Deliver {
+                        line,
+                        txn: txn.0,
+                        exclusive,
+                    },
+                );
                 self.outbox[proc].push(MemEvent::Done {
                     txn,
                     line,
@@ -1164,6 +1239,14 @@ impl MemorySystem {
                     }
                     self.caches[proc].update_word(addr, new);
                 }
+                self.emit(
+                    proc,
+                    TraceKind::Deliver {
+                        line,
+                        txn: txn.0,
+                        exclusive: false,
+                    },
+                );
                 self.outbox[proc].push(MemEvent::Done {
                     txn,
                     line,
@@ -1186,6 +1269,7 @@ impl MemorySystem {
                         self.caches[proc].invalidate(line);
                     }
                     self.stats.invalidations_delivered += 1;
+                    self.emit(proc, TraceKind::Invalidation { line });
                     self.outbox[proc].push(MemEvent::Invalidated { line });
                 }
             }
@@ -1194,6 +1278,7 @@ impl MemorySystem {
                 let data = if share {
                     let d = self.caches[proc].downgrade(line);
                     if d.is_some() {
+                        self.emit(proc, TraceKind::Invalidation { line });
                         self.outbox[proc].push(MemEvent::Invalidated { line });
                     }
                     d
@@ -1201,6 +1286,7 @@ impl MemorySystem {
                     let d = self.caches[proc].invalidate(line);
                     if d.is_some() {
                         self.stats.invalidations_delivered += 1;
+                        self.emit(proc, TraceKind::Invalidation { line });
                         self.outbox[proc].push(MemEvent::Invalidated { line });
                     }
                     d
@@ -1211,6 +1297,7 @@ impl MemorySystem {
                 let line = self.line_of(addr);
                 if self.caches[proc].update_word(addr, value) {
                     self.stats.updates_delivered += 1;
+                    self.emit(proc, TraceKind::Update { line, addr });
                     self.outbox[proc].push(MemEvent::Updated { line, addr, value });
                 }
             }
@@ -1283,6 +1370,7 @@ impl MemorySystem {
                 let was_owner_remote = matches!(state, DirState::Owned(o) if o != req.proc);
                 let requester_has_copy = state.is_sharer(req.proc) || state.is_owner(req.proc);
                 self.dir.set_state(req.line, DirState::Owned(req.proc));
+                self.emit(req.proc, TraceKind::OwnershipTransfer { line: req.line });
                 if was_owner_remote {
                     // Flush-and-invalidate the remote owner; its data
                     // rides back and out to the requester.

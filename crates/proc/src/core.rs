@@ -56,97 +56,8 @@ use mcsim_mem::msg::ProcId;
 use mcsim_mem::{
     DemandToken, IssueResult, MemEvent, MemorySystem, PrefetchResult, ProbeResult, TxnId,
 };
-use serde::{Deserialize, Serialize};
+use mcsim_trace::{BufferKind, IssueOutcome, TraceBuffer, TraceEvent, TraceKind};
 use std::collections::{HashMap, VecDeque};
-
-/// How a demand access was satisfied (trace detail).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum IssueOutcome {
-    /// Cache hit.
-    Hit,
-    /// New transaction launched.
-    Miss,
-    /// Merged with an outstanding transaction (usually a prefetch).
-    Merged,
-    /// Value forwarded from the store buffer.
-    Forwarded,
-}
-
-/// One entry of a core's event trace (drives the Figure 5 reproduction).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CoreEvent {
-    /// Cycle it happened.
-    pub cycle: u64,
-    /// Instruction it concerns.
-    pub seq: Seq,
-    /// That instruction's program counter.
-    pub pc: u32,
-    /// What happened.
-    pub kind: EventKind,
-}
-
-/// Kinds of trace events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum EventKind {
-    /// A demand load (or RMW read half) was issued.
-    LoadIssued {
-        /// Target address.
-        addr: Addr,
-        /// How it was satisfied.
-        outcome: IssueOutcome,
-        /// Whether it entered the speculative-load buffer.
-        speculative: bool,
-    },
-    /// A store (or RMW write half) was issued from the store buffer.
-    StoreIssued {
-        /// Target address.
-        addr: Addr,
-        /// How it was satisfied.
-        outcome: IssueOutcome,
-    },
-    /// A hardware prefetch was issued.
-    PrefetchIssued {
-        /// Target address.
-        addr: Addr,
-        /// Read-exclusive (for writes) vs read (for loads).
-        exclusive: bool,
-    },
-    /// A memory access performed (§2's completion).
-    Performed {
-        /// Its address.
-        addr: Addr,
-    },
-    /// The reorder buffer released a store to issue (reached the head).
-    StoreReleased,
-    /// A speculative-load-buffer entry retired (load now
-    /// non-speculative).
-    SpecRetired,
-    /// Detection fired on a consumed value: the load and everything after
-    /// it were squashed and refetched (the branch-mispredict-style
-    /// correction).
-    Rollback {
-        /// The hazarded line.
-        line: LineAddr,
-        /// Instructions squashed.
-        squashed: usize,
-    },
-    /// Detection fired before the value was consumed: the load is
-    /// reissued, nothing is squashed.
-    Reissue {
-        /// The hazarded line.
-        line: LineAddr,
-    },
-    /// Appendix A: a hazard hit an RMW whose atomic had already issued;
-    /// only the computation after it is squashed.
-    RmwPartialRollback {
-        /// The hazarded line.
-        line: LineAddr,
-    },
-    /// A branch was resolved against its prediction and missed.
-    BranchMispredicted,
-    /// The halt instruction committed (buffers may still be draining).
-    HaltCommitted,
-}
 
 /// What kind of access a load-queue entry is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,6 +150,11 @@ pub struct ProcQuiescence {
     sb_txn: usize,
     hit_completions: usize,
     forward_waiters: usize,
+    /// Monotone count of trace events ever recorded. Folding it into the
+    /// fingerprint makes "quiescent spans emit no events" structural: a
+    /// cycle that records anything can never open or extend a span, so
+    /// fast-forwarding cannot change the trace.
+    trace_emitted: u64,
 }
 
 /// One out-of-order processor.
@@ -279,8 +195,8 @@ pub struct Processor {
     /// replay logic as `last_bucket`).
     last_stalled: bool,
     stats: ProcStats,
-    trace: Vec<CoreEvent>,
-    trace_enabled: bool,
+    /// Event sink; `None` (the default) makes recording a single branch.
+    tracer: Option<TraceBuffer>,
     /// First structured fault hit by this core (pipeline-bookkeeping
     /// contract breaches that used to panic). The machine polls it.
     fault: Option<SimError>,
@@ -315,8 +231,7 @@ impl Processor {
             last_bucket: StallBucket::Busy,
             last_stalled: false,
             stats: ProcStats::default(),
-            trace: Vec::new(),
-            trace_enabled: false,
+            tracer: None,
             fault: None,
             cfg,
             model,
@@ -361,22 +276,47 @@ impl Processor {
         self.rob.regfile()
     }
 
-    /// Starts recording [`CoreEvent`]s.
-    pub fn enable_trace(&mut self) {
-        self.trace_enabled = true;
+    /// Starts recording [`TraceEvent`]s into a ring of `capacity`.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(TraceBuffer::new(capacity));
     }
 
-    /// Takes the recorded events.
-    pub fn take_trace(&mut self) -> Vec<CoreEvent> {
-        std::mem::take(&mut self.trace)
+    /// Takes the retained events (emission order; the ring keeps running).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer
+            .as_mut()
+            .map(TraceBuffer::drain)
+            .unwrap_or_default()
     }
 
-    fn emit(&mut self, cycle: u64, seq: Seq, kind: EventKind) {
-        if self.trace_enabled {
-            let pc = self.rob.entry(seq).map_or(u32::MAX, |e| e.pc);
-            self.trace.push(CoreEvent {
+    /// Total events ever recorded (monotone — a fingerprint component).
+    #[must_use]
+    pub fn trace_emitted(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, TraceBuffer::emitted)
+    }
+
+    /// Events evicted from the ring because it was full.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, TraceBuffer::dropped)
+    }
+
+    /// Records an event for `seq`, resolving its PC from the live
+    /// reorder-buffer entry. Events about already-retired instructions
+    /// must go through [`Self::emit_at`] with the popped entry's PC.
+    fn emit(&mut self, cycle: u64, seq: Seq, kind: TraceKind) {
+        if self.tracer.is_some() {
+            let pc = self.rob.entry(seq).map(|e| e.pc);
+            self.emit_at(cycle, seq, pc, kind);
+        }
+    }
+
+    fn emit_at(&mut self, cycle: u64, seq: Seq, pc: Option<u32>, kind: TraceKind) {
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceEvent {
                 cycle,
-                seq,
+                proc: self.id,
+                seq: Some(seq),
                 pc,
                 kind,
             });
@@ -514,6 +454,7 @@ impl Processor {
             sb_txn: self.sb_txn.len(),
             hit_completions: self.hit_completions.len(),
             forward_waiters: self.forward_waiters.len(),
+            trace_emitted: self.trace_emitted(),
         }
     }
 
@@ -837,7 +778,7 @@ impl Processor {
             };
             let next_pc = e.pc + 1;
             self.stats.rollbacks += 1;
-            self.emit(now, m.seq, EventKind::RmwPartialRollback { line });
+            self.emit(now, m.seq, TraceKind::RmwPartialRollback { line });
             self.squash(now, m.seq + 1, next_pc, true);
         } else if m.done {
             // Value (possibly) consumed: treat the load as mispredicted —
@@ -849,14 +790,7 @@ impl Processor {
             let pc = e.pc;
             self.stats.rollbacks += 1;
             let squashed = self.squash(now, m.seq, pc, true);
-            if self.trace_enabled {
-                self.trace.push(CoreEvent {
-                    cycle: now,
-                    seq: m.seq,
-                    pc,
-                    kind: EventKind::Rollback { line, squashed },
-                });
-            }
+            self.emit_at(now, m.seq, Some(pc), TraceKind::Rollback { line, squashed });
         } else {
             // Value not yet consumed: reissue the access only (§4.2 case
             // 2); the in-flight response is dropped by token epoch.
@@ -868,13 +802,38 @@ impl Processor {
                     req.state = LoadState::Waiting;
                 }
             }
-            self.emit(now, m.seq, EventKind::Reissue { line });
+            self.emit(now, m.seq, TraceKind::Reissue { line });
         }
     }
 
     /// Squashes all instructions with `seq >= from`, restarting fetch at
     /// `new_pc`. Returns how many instructions were squashed.
     fn squash(&mut self, now: u64, from: Seq, new_pc: u32, spec: bool) -> usize {
+        if self.tracer.is_some() {
+            // Squashed entries leave their buffers; record the exits
+            // before the buffers forget them.
+            let exits: Vec<(Seq, BufferKind, Addr)> = self
+                .sb
+                .iter()
+                .filter(|e| e.seq >= from)
+                .map(|e| (e.seq, BufferKind::Store, e.addr))
+                .chain(
+                    self.specbuf
+                        .iter()
+                        .filter(|e| e.seq >= from)
+                        .map(|e| (e.seq, BufferKind::Spec, e.addr)),
+                )
+                .chain(
+                    self.load_queue
+                        .iter()
+                        .filter(|r| r.seq >= from)
+                        .map(|r| (r.seq, BufferKind::Load, r.addr)),
+                )
+                .collect();
+            for (seq, buffer, addr) in exits {
+                self.emit(now, seq, TraceKind::BufferExit { buffer, addr });
+            }
+        }
         let removed = self.rob.squash_from(from);
         let n = removed.len();
         if spec {
@@ -925,7 +884,15 @@ impl Processor {
                 e.completed = true;
             }
         }
-        self.emit(now, seq, EventKind::Performed { addr: req.addr });
+        self.emit(
+            now,
+            seq,
+            TraceKind::BufferExit {
+                buffer: BufferKind::Load,
+                addr: req.addr,
+            },
+        );
+        self.emit(now, seq, TraceKind::Performed { addr: req.addr });
     }
 
     /// Finishes a store (or the atomic half of an RMW): removes it from
@@ -973,7 +940,15 @@ impl Processor {
         self.specbuf.store_completed(seq, |load_seq, class| {
             sb.constraining_store(model, load_seq, class)
         });
-        self.emit(now, seq, EventKind::Performed { addr: entry.addr });
+        self.emit(
+            now,
+            seq,
+            TraceKind::BufferExit {
+                buffer: BufferKind::Store,
+                addr: entry.addr,
+            },
+        );
+        self.emit(now, seq, TraceKind::Performed { addr: entry.addr });
     }
 
     // ------------------------------------------------------------------
@@ -985,7 +960,7 @@ impl Processor {
             if let Some(e) = self.rob.entry_mut(seq) {
                 e.speculative = false;
             }
-            self.emit(now, seq, EventKind::SpecRetired);
+            self.emit(now, seq, TraceKind::SpecRetired);
         }
     }
 
@@ -1049,7 +1024,7 @@ impl Processor {
                     if actual != predicted {
                         self.stats.branch_mispredicts += 1;
                         let new_pc = if actual { target } else { pc + 1 };
-                        self.emit(now, seq, EventKind::BranchMispredicted);
+                        self.emit(now, seq, TraceKind::BranchMispredicted);
                         self.squash(now, seq + 1, new_pc, false);
                         break; // everything younger is gone
                     }
@@ -1112,6 +1087,9 @@ impl Processor {
             let Some(e) = self.rob.pop_head() else { break };
             retired += 1;
             self.stats.committed += 1;
+            // The entry is gone from the ROB; stamp the event with the
+            // popped entry's own PC.
+            self.emit_at(now, e.seq, Some(e.pc), TraceKind::Retired);
             if e.instr.is_mem_read() {
                 self.stats.loads += 1;
             }
@@ -1123,7 +1101,7 @@ impl Processor {
             }
             if matches!(e.instr, Instr::Halt) {
                 self.program_finished = true;
-                self.emit(now, e.seq, EventKind::HaltCommitted);
+                self.emit_at(now, e.seq, Some(e.pc), TraceKind::HaltCommitted);
                 break;
             }
             budget -= 1;
@@ -1135,7 +1113,7 @@ impl Processor {
         if let Some(e) = self.sb.get(seq) {
             if !e.rob_released {
                 self.sb.mark_released(seq);
-                self.emit(now, seq, EventKind::StoreReleased);
+                self.emit(now, seq, TraceKind::StoreReleased);
             }
         }
     }
@@ -1163,6 +1141,7 @@ impl Processor {
             let instr = instr.clone();
             let pc = self.pc;
             let seq = self.rob.push(pc, instr.clone()).expect("space checked");
+            self.emit_at(now, seq, Some(pc), TraceKind::Fetched);
             match &instr {
                 Instr::Load { .. }
                 | Instr::Store { .. }
@@ -1219,7 +1198,7 @@ impl Processor {
                         e.dispatched = true;
                     }
                     if self.cfg.techniques.speculative_loads {
-                        self.push_spec_entry(mem, seq, a, class, None);
+                        self.push_spec_entry(now, mem, seq, a, class, None);
                     }
                     self.load_queue.push_back(LoadReq {
                         seq,
@@ -1230,6 +1209,14 @@ impl Processor {
                         state: LoadState::Waiting,
                         issued_at: None,
                     });
+                    self.emit(
+                        now,
+                        seq,
+                        TraceKind::BufferEnter {
+                            buffer: BufferKind::Load,
+                            addr: a,
+                        },
+                    );
                 }
                 Instr::Store { addr, .. } => {
                     let src1 = e.src1.and_then(|s| s.value());
@@ -1252,6 +1239,14 @@ impl Processor {
                         prefetch_sent: false,
                         issued_at: None,
                     });
+                    self.emit(
+                        now,
+                        seq,
+                        TraceKind::BufferEnter {
+                            buffer: BufferKind::Store,
+                            addr: a,
+                        },
+                    );
                 }
                 Instr::Rmw { addr, kind, .. } => {
                     let src1 = e.src1.and_then(|s| s.value());
@@ -1279,7 +1274,15 @@ impl Processor {
                             prefetch_sent: false,
                             issued_at: None,
                         });
-                        self.push_spec_entry(mem, seq, a, class, Some(seq));
+                        self.emit(
+                            now,
+                            seq,
+                            TraceKind::BufferEnter {
+                                buffer: BufferKind::Store,
+                                addr: a,
+                            },
+                        );
+                        self.push_spec_entry(now, mem, seq, a, class, Some(seq));
                         self.load_queue.push_back(LoadReq {
                             seq,
                             addr: a,
@@ -1300,6 +1303,14 @@ impl Processor {
                             issued_at: None,
                         });
                     }
+                    self.emit(
+                        now,
+                        seq,
+                        TraceKind::BufferEnter {
+                            buffer: BufferKind::Load,
+                            addr: a,
+                        },
+                    );
                 }
                 Instr::Prefetch { addr, exclusive } => {
                     let src1 = e.src1.and_then(|s| s.value());
@@ -1331,6 +1342,7 @@ impl Processor {
 
     fn push_spec_entry(
         &mut self,
+        now: u64,
         mem: &MemorySystem,
         seq: Seq,
         addr: Addr,
@@ -1360,6 +1372,14 @@ impl Processor {
             e.speculative = true;
         }
         self.stats.speculative_loads += 1;
+        self.emit(
+            now,
+            seq,
+            TraceKind::BufferEnter {
+                buffer: BufferKind::Spec,
+                addr,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1402,7 +1422,7 @@ impl Processor {
                     self.emit(
                         now,
                         seq,
-                        EventKind::StoreIssued {
+                        TraceKind::StoreIssue {
                             addr,
                             outcome: IssueOutcome::Hit,
                         },
@@ -1424,7 +1444,7 @@ impl Processor {
                     self.emit(
                         now,
                         seq,
-                        EventKind::StoreIssued {
+                        TraceKind::StoreIssue {
                             addr,
                             outcome: if merged {
                                 IssueOutcome::Merged
@@ -1523,7 +1543,7 @@ impl Processor {
                     self.emit(
                         now,
                         seq,
-                        EventKind::LoadIssued {
+                        TraceKind::LoadIssue {
                             addr,
                             outcome: IssueOutcome::Hit,
                             speculative: is_spec_entry,
@@ -1544,7 +1564,7 @@ impl Processor {
                     self.emit(
                         now,
                         seq,
-                        EventKind::LoadIssued {
+                        TraceKind::LoadIssue {
                             addr,
                             outcome: if merged {
                                 IssueOutcome::Merged
@@ -1573,6 +1593,14 @@ impl Processor {
             return;
         };
         self.load_queue.remove(i);
+        self.emit(
+            now,
+            seq,
+            TraceKind::BufferExit {
+                buffer: BufferKind::Load,
+                addr,
+            },
+        );
         self.rob.set_value(seq, value);
         if let Some(e) = self.rob.entry_mut(seq) {
             e.completed = true;
@@ -1584,7 +1612,7 @@ impl Processor {
         self.emit(
             now,
             seq,
-            EventKind::LoadIssued {
+            TraceKind::LoadIssue {
                 addr,
                 outcome: IssueOutcome::Forwarded,
                 speculative: false,
@@ -1642,7 +1670,7 @@ impl Processor {
                     self.sw_prefetches.pop_front();
                     self.port_used = true;
                     self.port_used_by_prefetch = true;
-                    self.emit(now, seq, EventKind::PrefetchIssued { addr, exclusive });
+                    self.emit(now, seq, TraceKind::PrefetchIssue { addr, exclusive });
                     return;
                 }
                 PrefetchResult::AlreadyPresent
@@ -1684,7 +1712,7 @@ impl Processor {
                     self.mark_prefetch_sent(seq);
                     self.port_used = true;
                     self.port_used_by_prefetch = true;
-                    self.emit(now, seq, EventKind::PrefetchIssued { addr, exclusive });
+                    self.emit(now, seq, TraceKind::PrefetchIssue { addr, exclusive });
                     break;
                 }
                 PrefetchResult::AlreadyPresent

@@ -46,5 +46,7 @@ pub mod stats;
 pub mod storebuf;
 
 pub use config::{ProcConfig, Techniques};
-pub use core::{CoreEvent, ProcQuiescence, Processor};
+pub use core::{ProcQuiescence, Processor};
 pub use stats::{CycleBreakdown, ProcStats};
+// The event taxonomy lives in mcsim-trace; re-exported for convenience.
+pub use mcsim_trace::{IssueOutcome, TraceEvent, TraceKind};

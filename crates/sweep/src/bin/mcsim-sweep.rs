@@ -27,6 +27,9 @@ const USAGE: &str = "usage: mcsim-sweep [options]
   --csv FILE         write the result rows as CSV
   --no-fast-forward  step every cycle instead of skipping quiescent spans
                      (slower; results are bit-identical either way)
+  --trace DIR        run with event tracing and leave a Chrome trace-event
+                     JSON post-mortem (point-NNNN.trace.json) in DIR for
+                     every point that fails or times out
   --quiet            suppress tables and progress telemetry";
 
 struct Args {
@@ -38,6 +41,7 @@ struct Args {
     timing_json: Option<String>,
     csv: Option<String>,
     no_fast_forward: bool,
+    trace_dir: Option<String>,
     quiet: bool,
 }
 
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         timing_json: None,
         csv: None,
         no_fast_forward: false,
+        trace_dir: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--timing-json" => args.timing_json = Some(value("--timing-json")?),
             "--csv" => args.csv = Some(value("--csv")?),
             "--no-fast-forward" => args.no_fast_forward = true,
+            "--trace" => args.trace_dir = Some(value("--trace")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
@@ -117,10 +123,18 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    let trace_dir = match &args.trace_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            Some(std::path::PathBuf::from(dir))
+        }
+        None => None,
+    };
     let opts = ExecOptions {
         jobs: args.jobs,
         progress: !args.quiet,
         fast_forward: !args.no_fast_forward,
+        trace_dir,
     };
     let run = run_sweep(&spec, &opts)?;
 

@@ -15,11 +15,13 @@
 //! remaining points keep running.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mcsim_core::{Machine, RunTelemetry};
+use mcsim_trace::TraceFilter;
 
 use crate::progress::ProgressState;
 use crate::result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
@@ -36,6 +38,12 @@ pub struct ExecOptions {
     /// bit-identical either way; off trades wall-clock for a per-cycle
     /// reference run.
     pub fast_forward: bool,
+    /// When set, every point runs with event tracing enabled and any
+    /// point that does not finish cleanly (timeout, guard failure)
+    /// leaves a Chrome trace-event JSON post-mortem at
+    /// `<dir>/point-<index>.trace.json`. Rows stay bit-identical: the
+    /// trace is a side artifact, never part of the result.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ExecOptions {
@@ -44,6 +52,7 @@ impl Default for ExecOptions {
             jobs: 1,
             progress: false,
             fast_forward: true,
+            trace_dir: None,
         }
     }
 }
@@ -74,7 +83,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(point) = points.get(idx) else { break };
                 let point_started = Instant::now();
-                let (record, telemetry) = run_point(point, opts.fast_forward);
+                let (record, telemetry) =
+                    run_point(point, idx, opts.fast_forward, opts.trace_dir.as_deref());
                 let wall = point_started.elapsed().as_secs_f64();
                 progress.record(
                     record.outcome.cycles().unwrap_or(0),
@@ -145,13 +155,28 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
 /// Executes one grid point, converting timeouts and panics into failed
 /// outcomes. The returned telemetry is wall-clock bookkeeping only —
 /// the record is identical with fast-forwarding on or off.
-fn run_point(point: &SweepPoint, fast_forward: bool) -> (PointRecord, RunTelemetry) {
+fn run_point(
+    point: &SweepPoint,
+    idx: usize,
+    fast_forward: bool,
+    trace_dir: Option<&std::path::Path>,
+) -> (PointRecord, RunTelemetry) {
     let (outcome, telemetry) = catch_unwind(AssertUnwindSafe(|| {
-        let cfg = point.machine_config();
+        let mut cfg = point.machine_config();
+        cfg.trace |= trace_dir.is_some();
         let mut machine = Machine::new(cfg, point.workload.programs(point.seed));
         machine.set_fast_forward(fast_forward);
         point.workload.setup(&mut machine);
         let (report, telemetry) = machine.run_telemetry();
+        if report.failure.is_some() || report.timed_out {
+            if let Some(dir) = trace_dir {
+                let path = dir.join(format!("point-{idx:04}.trace.json"));
+                let json = mcsim_trace::chrome::render(&report.trace, &TraceFilter::default());
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                }
+            }
+        }
         let outcome = if let Some(error) = report.failure {
             PointOutcome::Failed { error }
         } else if report.timed_out {
@@ -225,8 +250,7 @@ mod tests {
             &spec,
             &ExecOptions {
                 jobs: 64,
-                progress: false,
-                fast_forward: true,
+                ..ExecOptions::default()
             },
         )
         .expect("valid spec");

@@ -41,8 +41,7 @@ fn rows_with_jobs(spec: &SweepSpec, jobs: usize) -> SweepResult {
         spec,
         &ExecOptions {
             jobs,
-            progress: false,
-            fast_forward: true,
+            ..ExecOptions::default()
         },
     )
     .expect("valid spec")
@@ -97,6 +96,45 @@ fn timeout_is_recorded_as_failed_cell_not_abort() {
             row.outcome
         );
     }
+}
+
+#[test]
+fn failure_traces_are_bit_identical_across_jobs() {
+    // `--trace DIR` leaves a Chrome JSON post-mortem for every failed
+    // point. The dumps must be byte-identical whatever the worker count,
+    // exactly like the rows themselves.
+    let mut spec = test_spec();
+    spec.max_cycles = 50; // low enough that points time out and dump
+    let dump = |jobs: usize| {
+        let dir = std::env::temp_dir().join(format!("mcsim-sweep-trace-j{jobs}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = ExecOptions {
+            jobs,
+            trace_dir: Some(dir.clone()),
+            ..ExecOptions::default()
+        };
+        run_sweep(&spec, &opts).expect("valid spec");
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let contents: Vec<(String, Vec<u8>)> = files
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(p).unwrap(),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    let serial = dump(1);
+    assert!(!serial.is_empty(), "some points must time out and dump");
+    assert_eq!(serial, dump(4));
 }
 
 #[test]

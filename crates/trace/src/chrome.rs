@@ -1,0 +1,306 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Layout: pid 0 holds one track per processor core, pid 1 the memory
+//! system's transaction/coherence traffic (tid = requesting core).
+//! Demand accesses become `"X"` complete spans from issue to perform
+//! (matched by processor + sequence number), memory transactions spans
+//! from issue to deliver (matched by transaction id); everything else is
+//! an `"i"` instant. Per-core buffer occupancy is exported as `"C"`
+//! counter tracks, so the Figure 5 picture is visible as a stacked area.
+//!
+//! The JSON is formatted by hand (every name is generated ASCII); the
+//! crate deliberately has no serde_json dependency.
+
+use crate::{BufferKind, TraceEvent, TraceFilter, TraceKind};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Renders the filtered events as a Chrome trace-event JSON document.
+pub fn render(events: &[TraceEvent], filter: &TraceFilter) -> String {
+    let kept = filter.apply(events);
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&line);
+    };
+
+    // Metadata: name the process and thread tracks that will appear.
+    let mut procs: Vec<usize> = kept.iter().map(|e| e.proc).collect();
+    procs.sort_unstable();
+    procs.dedup();
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"cores\"}}".into(),
+        &mut out,
+        &mut first,
+    );
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"memory\"}}".into(),
+        &mut out,
+        &mut first,
+    );
+    for &p in &procs {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{p},\
+                 \"args\":{{\"name\":\"proc {p}\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{p},\
+                 \"args\":{{\"name\":\"mem (proc {p})\"}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    // Pass 1: spans. Demand accesses pair issue -> perform on
+    // (proc, seq); memory transactions pair issue -> deliver on txn id.
+    // Each open entry carries its index in `kept` so that leftovers can
+    // be restored to emission order — HashMap iteration order must never
+    // leak into the output (it varies between runs and threads).
+    let mut open_access: HashMap<(usize, u64), (usize, &TraceEvent, String)> = HashMap::new();
+    let mut open_txn: HashMap<u64, (usize, &TraceEvent, String)> = HashMap::new();
+    let mut instants: Vec<(usize, &TraceEvent)> = Vec::new();
+    for (i, e) in kept.iter().enumerate() {
+        match &e.kind {
+            TraceKind::LoadIssue { .. } | TraceKind::StoreIssue { .. } => {
+                if let Some(seq) = e.seq {
+                    // A rolled-back load re-issues under the same seq;
+                    // emit the superseded attempt as an instant.
+                    if let Some((pi, prev, _)) =
+                        open_access.insert((e.proc, seq), (i, e, e.kind.to_string()))
+                    {
+                        instants.push((pi, prev));
+                    }
+                } else {
+                    instants.push((i, e));
+                }
+            }
+            TraceKind::Performed { .. } => {
+                match e.seq.and_then(|seq| open_access.remove(&(e.proc, seq))) {
+                    Some((_, start, name)) => {
+                        push(span_json(start, e.cycle, &name), &mut out, &mut first)
+                    }
+                    None => instants.push((i, e)),
+                }
+            }
+            TraceKind::MissIssue { txn, .. } | TraceKind::PrefetchTxn { txn, .. } => {
+                if let Some((pi, prev, _)) = open_txn.insert(*txn, (i, e, e.kind.to_string())) {
+                    instants.push((pi, prev));
+                }
+            }
+            TraceKind::Deliver { txn, .. } => match open_txn.remove(txn) {
+                Some((_, start, name)) => {
+                    push(span_json(start, e.cycle, &name), &mut out, &mut first)
+                }
+                None => instants.push((i, e)),
+            },
+            _ => instants.push((i, e)),
+        }
+    }
+    // Issues that never performed (squashed, or past the filter window).
+    let mut unmatched: Vec<(usize, &TraceEvent)> = open_access
+        .into_values()
+        .chain(open_txn.into_values())
+        .map(|(i, e, _)| (i, e))
+        .collect();
+    instants.append(&mut unmatched);
+    instants.sort_by_key(|&(i, e)| (e.cycle, i));
+    for (_, e) in instants {
+        push(instant_json(e), &mut out, &mut first);
+    }
+
+    // Pass 2: per-core buffer-occupancy counters.
+    let mut occupancy: HashMap<usize, [i64; 3]> = HashMap::new();
+    for e in &kept {
+        let delta: Option<(usize, i64)> = match &e.kind {
+            TraceKind::BufferEnter { buffer, .. } => Some((buffer_index(*buffer), 1)),
+            TraceKind::BufferExit { buffer, .. } => Some((buffer_index(*buffer), -1)),
+            TraceKind::SpecRetired => Some((buffer_index(BufferKind::Spec), -1)),
+            _ => None,
+        };
+        if let Some((idx, d)) = delta {
+            let counts = occupancy.entry(e.proc).or_default();
+            counts[idx] = (counts[idx] + d).max(0);
+            push(
+                format!(
+                    "{{\"name\":\"proc {} buffers\",\"ph\":\"C\",\"pid\":0,\"tid\":{},\
+                     \"ts\":{},\"args\":{{\"load\":{},\"store\":{},\"spec\":{}}}}}",
+                    e.proc, e.proc, e.cycle, counts[0], counts[1], counts[2]
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+fn buffer_index(b: BufferKind) -> usize {
+    match b {
+        BufferKind::Load => 0,
+        BufferKind::Store => 1,
+        BufferKind::Spec => 2,
+    }
+}
+
+fn span_json(start: &TraceEvent, end_cycle: u64, name: &str) -> String {
+    let dur = end_cycle.saturating_sub(start.cycle).max(1);
+    let mut s = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
+        escape(name),
+        start.kind.name(),
+        pid(start),
+        start.proc,
+        start.cycle,
+        dur
+    );
+    write_args(&mut s, start);
+    s.push('}');
+    s
+}
+
+fn instant_json(e: &TraceEvent) -> String {
+    let mut s = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{}",
+        escape(&e.kind.to_string()),
+        e.kind.name(),
+        pid(e),
+        e.proc,
+        e.cycle
+    );
+    write_args(&mut s, e);
+    s.push('}');
+    s
+}
+
+fn pid(e: &TraceEvent) -> usize {
+    usize::from(e.kind.is_mem())
+}
+
+fn write_args(s: &mut String, e: &TraceEvent) {
+    match (e.seq, e.pc) {
+        (None, None) => {}
+        (seq, pc) => {
+            s.push_str(",\"args\":{");
+            let mut first = true;
+            if let Some(seq) = seq {
+                let _ = write!(s, "\"seq\":{seq}");
+                first = false;
+            }
+            if let Some(pc) = pc {
+                if !first {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"pc\":{pc}");
+            }
+            s.push('}');
+        }
+    }
+}
+
+/// JSON string escaping. Generated names are plain ASCII, but the
+/// exporter must never produce an invalid document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IssueOutcome;
+    use mcsim_isa::{Addr, LineAddr};
+
+    fn ev(cycle: u64, seq: Option<u64>, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            proc: 0,
+            seq,
+            pc: seq.map(|s| s as u32),
+            kind,
+        }
+    }
+
+    #[test]
+    fn issue_perform_pairs_become_spans() {
+        let events = vec![
+            ev(
+                3,
+                Some(0),
+                TraceKind::LoadIssue {
+                    addr: Addr(0x1000),
+                    outcome: IssueOutcome::Miss,
+                    speculative: false,
+                },
+            ),
+            ev(103, Some(0), TraceKind::Performed { addr: Addr(0x1000) }),
+            ev(
+                50,
+                None,
+                TraceKind::Invalidation {
+                    line: LineAddr(0x1180),
+                },
+            ),
+        ];
+        let json = render(&events, &TraceFilter::default());
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"dur\":100"), "{json}");
+        assert!(json.contains("INVALIDATE L0x1180"), "{json}");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Crude balance check; real parsing is pinned at the core layer.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+    }
+
+    #[test]
+    fn buffer_flow_emits_counter_samples() {
+        let events = vec![
+            ev(
+                1,
+                Some(0),
+                TraceKind::BufferEnter {
+                    buffer: BufferKind::Load,
+                    addr: Addr(0x40),
+                },
+            ),
+            ev(
+                5,
+                Some(0),
+                TraceKind::BufferExit {
+                    buffer: BufferKind::Load,
+                    addr: Addr(0x40),
+                },
+            ),
+        ];
+        let json = render(&events, &TraceFilter::default());
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"load\":1"));
+        assert!(json.contains("\"load\":0"));
+    }
+}

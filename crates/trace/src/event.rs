@@ -1,0 +1,372 @@
+//! The typed trace-event taxonomy.
+//!
+//! Processor-side events are stamped with the instruction's sequence
+//! number and program counter; memory-side events carry the id of the
+//! transaction they concern (as a raw `u64` — this crate sits below
+//! `mcsim-mem` in the dependency graph) and the *requesting* processor.
+
+use mcsim_isa::{Addr, LineAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a demand access was satisfied at issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueOutcome {
+    /// Cache hit.
+    Hit,
+    /// New transaction launched.
+    Miss,
+    /// Merged with an outstanding transaction (usually a prefetch).
+    Merged,
+    /// Value forwarded from the store buffer.
+    Forwarded,
+}
+
+impl IssueOutcome {
+    /// Short lower-case label for renderers (`hit`, `miss`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            IssueOutcome::Hit => "hit",
+            IssueOutcome::Miss => "miss",
+            IssueOutcome::Merged => "merged",
+            IssueOutcome::Forwarded => "fwd",
+        }
+    }
+}
+
+/// Which per-core buffer an entry moved through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BufferKind {
+    /// The pending-load queue.
+    Load,
+    /// The store buffer.
+    Store,
+    /// The speculative-load buffer.
+    Spec,
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle it happened.
+    pub cycle: u64,
+    /// Processor it concerns (for memory-side events: the requester).
+    pub proc: usize,
+    /// Instruction sequence number (processor-side events only).
+    pub seq: Option<u64>,
+    /// That instruction's program counter (processor-side events only).
+    pub pc: Option<u32>,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Every kind of event the simulator can record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    // ---- processor-side: instruction lifetime ----
+    /// An instruction entered the reorder buffer.
+    Fetched,
+    /// An instruction committed from the ROB head.
+    Retired,
+    /// The halt instruction committed; the core is done.
+    HaltCommitted,
+    /// A mispredicted branch resolved (the wrong path is squashed).
+    BranchMispredicted,
+
+    // ---- processor-side: memory operations ----
+    /// A demand load (or RMW read half) was issued.
+    LoadIssue {
+        /// Target address.
+        addr: Addr,
+        /// How it was satisfied.
+        outcome: IssueOutcome,
+        /// True when issued speculatively (past an incomplete access).
+        speculative: bool,
+    },
+    /// A store (or RMW write half) was issued to memory.
+    StoreIssue {
+        /// Target address.
+        addr: Addr,
+        /// How it was satisfied.
+        outcome: IssueOutcome,
+    },
+    /// A non-binding prefetch left the core.
+    PrefetchIssue {
+        /// Target address.
+        addr: Addr,
+        /// Read-exclusive (for stores) or shared (for loads).
+        exclusive: bool,
+    },
+    /// A memory access completed (performed globally).
+    Performed {
+        /// Target address.
+        addr: Addr,
+    },
+    /// A committed store was handed to the store buffer for issue.
+    StoreReleased,
+
+    // ---- processor-side: buffer occupancy ----
+    /// An entry was inserted into a per-core buffer.
+    BufferEnter {
+        /// Which buffer.
+        buffer: BufferKind,
+        /// The entry's address.
+        addr: Addr,
+    },
+    /// An entry left a per-core buffer (completed, drained or squashed).
+    BufferExit {
+        /// Which buffer.
+        buffer: BufferKind,
+        /// The entry's address.
+        addr: Addr,
+    },
+    /// A speculative load became safe and left the speculative-load
+    /// buffer (its speculation window closed without violation).
+    SpecRetired,
+
+    // ---- processor-side: speculation repair ----
+    /// A speculative load was invalidated and the core rolled back.
+    Rollback {
+        /// The conflicting cache line.
+        line: LineAddr,
+        /// Instructions squashed (the faulting load and younger).
+        squashed: usize,
+    },
+    /// The rolled-back load was fetched again.
+    Reissue {
+        /// The conflicting cache line.
+        line: LineAddr,
+    },
+    /// An RMW's read half was invalidated before the write half
+    /// completed; only the RMW itself re-executes.
+    RmwPartialRollback {
+        /// The conflicting cache line.
+        line: LineAddr,
+    },
+
+    // ---- memory-side: transactions ----
+    /// A miss transaction left for the directory.
+    MissIssue {
+        /// The requested line.
+        line: LineAddr,
+        /// Transaction id.
+        txn: u64,
+        /// Read-exclusive (ownership) rather than shared.
+        exclusive: bool,
+    },
+    /// A prefetch transaction left for the directory.
+    PrefetchTxn {
+        /// The requested line.
+        line: LineAddr,
+        /// Transaction id.
+        txn: u64,
+        /// Read-exclusive (ownership) rather than shared.
+        exclusive: bool,
+    },
+    /// A miss-status holding register was allocated for a line.
+    MshrAllocate {
+        /// The line the MSHR tracks.
+        line: LineAddr,
+        /// Transaction id it will carry.
+        txn: u64,
+    },
+    /// A transaction's reply reached the requesting cache.
+    Deliver {
+        /// The filled line.
+        line: LineAddr,
+        /// Transaction id.
+        txn: u64,
+        /// Whether the line arrived exclusive.
+        exclusive: bool,
+    },
+
+    // ---- memory-side: coherence traffic ----
+    /// A cached copy was invalidated by the protocol.
+    Invalidation {
+        /// The invalidated line.
+        line: LineAddr,
+    },
+    /// An update-protocol write updated a cached copy in place.
+    Update {
+        /// The updated line.
+        line: LineAddr,
+        /// The updated word.
+        addr: Addr,
+    },
+    /// The directory granted a processor ownership of a line.
+    OwnershipTransfer {
+        /// The line changing owners.
+        line: LineAddr,
+    },
+}
+
+impl TraceKind {
+    /// True for events recorded by the memory system (stamped with the
+    /// requesting processor but no instruction id).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::MissIssue { .. }
+                | TraceKind::PrefetchTxn { .. }
+                | TraceKind::MshrAllocate { .. }
+                | TraceKind::Deliver { .. }
+                | TraceKind::Invalidation { .. }
+                | TraceKind::Update { .. }
+                | TraceKind::OwnershipTransfer { .. }
+        )
+    }
+
+    /// Stable machine-readable name (CSV `kind` column, Chrome event
+    /// names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Fetched => "fetch",
+            TraceKind::Retired => "retire",
+            TraceKind::HaltCommitted => "halt",
+            TraceKind::BranchMispredicted => "branch_mispredict",
+            TraceKind::LoadIssue { .. } => "load_issue",
+            TraceKind::StoreIssue { .. } => "store_issue",
+            TraceKind::PrefetchIssue { .. } => "prefetch_issue",
+            TraceKind::Performed { .. } => "performed",
+            TraceKind::StoreReleased => "store_release",
+            TraceKind::BufferEnter { .. } => "buffer_enter",
+            TraceKind::BufferExit { .. } => "buffer_exit",
+            TraceKind::SpecRetired => "spec_retire",
+            TraceKind::Rollback { .. } => "rollback",
+            TraceKind::Reissue { .. } => "reissue",
+            TraceKind::RmwPartialRollback { .. } => "rmw_partial_rollback",
+            TraceKind::MissIssue { .. } => "miss_issue",
+            TraceKind::PrefetchTxn { .. } => "prefetch_txn",
+            TraceKind::MshrAllocate { .. } => "mshr_allocate",
+            TraceKind::Deliver { .. } => "deliver",
+            TraceKind::Invalidation { .. } => "invalidation",
+            TraceKind::Update { .. } => "update",
+            TraceKind::OwnershipTransfer { .. } => "ownership_transfer",
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    /// Compact human-readable label (the fig5 renderer's events column).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Fetched => write!(f, "fetch"),
+            TraceKind::Retired => write!(f, "retire"),
+            TraceKind::HaltCommitted => write!(f, "halt"),
+            TraceKind::BranchMispredicted => write!(f, "branch-mispredict"),
+            TraceKind::LoadIssue {
+                addr,
+                outcome,
+                speculative,
+            } => {
+                write!(f, "ld {addr} {}", outcome.label())?;
+                if *speculative {
+                    write!(f, " spec")?;
+                }
+                Ok(())
+            }
+            TraceKind::StoreIssue { addr, outcome } => {
+                write!(f, "st {addr} {}", outcome.label())
+            }
+            TraceKind::PrefetchIssue { addr, exclusive } => {
+                write!(f, "pf{} {addr}", if *exclusive { "x" } else { " " })
+            }
+            TraceKind::Performed { addr } => write!(f, "perform {addr}"),
+            TraceKind::StoreReleased => write!(f, "release-st"),
+            TraceKind::BufferEnter { buffer, addr } => {
+                write!(f, "+{} {addr}", buffer_label(*buffer))
+            }
+            TraceKind::BufferExit { buffer, addr } => {
+                write!(f, "-{} {addr}", buffer_label(*buffer))
+            }
+            TraceKind::SpecRetired => write!(f, "spec-retire"),
+            TraceKind::Rollback { line, squashed } => {
+                write!(f, "ROLLBACK {line} squashed={squashed}")
+            }
+            TraceKind::Reissue { line } => write!(f, "reissue {line}"),
+            TraceKind::RmwPartialRollback { line } => write!(f, "rmw-rollback {line}"),
+            TraceKind::MissIssue {
+                line,
+                txn,
+                exclusive,
+            } => {
+                write!(f, "miss {line} t{txn}{}", excl(*exclusive))
+            }
+            TraceKind::PrefetchTxn {
+                line,
+                txn,
+                exclusive,
+            } => {
+                write!(f, "pf-txn {line} t{txn}{}", excl(*exclusive))
+            }
+            TraceKind::MshrAllocate { line, txn } => write!(f, "mshr {line} t{txn}"),
+            TraceKind::Deliver {
+                line,
+                txn,
+                exclusive,
+            } => {
+                write!(f, "deliver {line} t{txn}{}", excl(*exclusive))
+            }
+            TraceKind::Invalidation { line } => write!(f, "INVALIDATE {line}"),
+            TraceKind::Update { line, addr } => write!(f, "update {line} {addr}"),
+            TraceKind::OwnershipTransfer { line } => write!(f, "own {line}"),
+        }
+    }
+}
+
+fn buffer_label(b: BufferKind) -> &'static str {
+    match b {
+        BufferKind::Load => "ldbuf",
+        BufferKind::Store => "stbuf",
+        BufferKind::Spec => "specbuf",
+    }
+}
+
+fn excl(exclusive: bool) -> &'static str {
+    if exclusive {
+        " excl"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        let k = TraceKind::LoadIssue {
+            addr: Addr(0x1000),
+            outcome: IssueOutcome::Miss,
+            speculative: true,
+        };
+        assert_eq!(k.to_string(), "ld 0x1000 miss spec");
+        assert_eq!(k.name(), "load_issue");
+        assert!(!k.is_mem());
+        let m = TraceKind::Deliver {
+            line: LineAddr(0x1000),
+            txn: 7,
+            exclusive: true,
+        };
+        assert_eq!(m.to_string(), "deliver L0x1000 t7 excl");
+        assert!(m.is_mem());
+    }
+
+    #[test]
+    fn events_compare_by_value() {
+        // JSON round-tripping is pinned at the core layer (the trace
+        // crate itself has no serde_json dependency); here: equality.
+        let e = TraceEvent {
+            cycle: 42,
+            proc: 1,
+            seq: Some(3),
+            pc: Some(2),
+            kind: TraceKind::Rollback {
+                line: LineAddr(0x1180),
+                squashed: 2,
+            },
+        };
+        assert_eq!(e, e.clone());
+    }
+}

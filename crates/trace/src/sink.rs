@@ -1,0 +1,106 @@
+//! The bounded ring sink events are recorded into.
+
+use crate::TraceEvent;
+use std::collections::VecDeque;
+
+/// Default ring capacity (events) when a component enables tracing.
+/// Large enough for the paper workloads and every failure snapshot the
+/// CLI takes; long sweeps keep the tail.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A bounded ring of trace events.
+///
+/// Recording never fails and never grows past `capacity`: once full, the
+/// oldest event is dropped (and counted). The `emitted` counter is
+/// monotone over the *attempted* recordings, which makes it a component
+/// of the machine's quiescence fingerprint — a cycle that records any
+/// event changes the fingerprint and therefore can never be skipped by
+/// fast-forwarding.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.emitted += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Total events ever recorded (monotone; includes dropped ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the retained events in emission order, leaving the ring
+    /// empty (counters keep running).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            proc: 0,
+            seq: None,
+            pc: None,
+            kind: TraceKind::Fetched,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_counts_drops() {
+        let mut b = TraceBuffer::new(3);
+        for c in 0..5 {
+            b.record(ev(c));
+        }
+        assert_eq!(b.emitted(), 5);
+        assert_eq!(b.dropped(), 2);
+        assert_eq!(b.len(), 3);
+        let cycles: Vec<u64> = b.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert!(b.is_empty());
+        // Counters are monotone across a drain.
+        b.record(ev(9));
+        assert_eq!(b.emitted(), 6);
+    }
+}

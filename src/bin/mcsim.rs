@@ -4,7 +4,8 @@
 //!
 //! ```sh
 //! mcsim run examples/asm/producer.s examples/asm/consumer.s \
-//!     --model SC --techniques both --trace
+//!     --model SC --techniques both --trace out.json
+//! mcsim run --workload figure5 --trace fig5.txt --trace-format fig5
 //! mcsim matrix examples/asm/producer.s     # full model x technique table
 //! mcsim asm examples/asm/producer.s        # assemble + disassemble check
 //! ```
@@ -13,10 +14,12 @@
 //! the tree to the sanctioned crates); see `mcsim --help`.
 
 use mcsim::sim::{format_table, run_matrix, Machine, MachineConfig, RunReport, SimError};
+use mcsim::trace::{chrome, csv, fig5, TraceEvent, TraceFilter};
+use mcsim::workloads::paper;
 use mcsim_consistency::Model;
 use mcsim_isa::asm;
 use mcsim_isa::Program;
-use mcsim_proc::{CoreEvent, Techniques};
+use mcsim_proc::Techniques;
 use serde::Serialize;
 use std::process::ExitCode;
 
@@ -26,8 +29,10 @@ Performance of Memory Consistency Models' (ICPP 1991)
 
 USAGE:
     mcsim run <program.s>... [OPTIONS]     simulate (one program per processor)
+    mcsim run --workload <name> [OPTIONS]  simulate a built-in paper workload
     mcsim matrix <program.s>...            run the full model x technique matrix
     mcsim asm <program.s>                  assemble and echo the program
+    mcsim check-json <file>                validate that a file parses as JSON
     mcsim models                           list supported consistency models
 
 OPTIONS (run):
@@ -38,6 +43,9 @@ OPTIONS (run):
     --rob <n>                     reorder-buffer entries    [default: 64]
     --max-cycles <n>              cycle budget              [default: 2000000]
     --mem <addr>=<value>          initial memory word (repeatable, hex ok)
+    --workload <name>             built-in workload instead of .s files:
+                                  figure5 (main + antagonist, primed caches),
+                                  example1, example2
     --invariants <n|off>          invariant-check period in cycles; 0 = auto
                                   (every cycle in debug / strict builds,
                                   every 1024 in release)    [default: 0]
@@ -49,18 +57,24 @@ OPTIONS (run):
     --no-fast-forward             step every cycle instead of skipping
                                   quiescent spans (slower; the report is
                                   bit-identical either way)
-    --trace                       print the event trace
+    --trace <path>                write the event trace to <path> ('-' for
+                                  stdout); enables tracing
+    --trace-format <fmt>          trace export format: chrome (Perfetto-
+                                  loadable JSON), fig5 (plaintext buffer
+                                  timeline), csv        [default: chrome]
+    --trace-cycles <A..B>         keep only events with A <= cycle <= B
+    --trace-proc <n>              keep only events of processor n
     --timeline                    print a Gantt timeline of memory ops
     --breakdown                   print the per-cause execution-time
                                   breakdown (stacked bars, paper Section 5)
     --json                        print the full report as JSON
 ";
 
-/// Trace events per processor kept in a `--dump-on-failure` snapshot.
-const DUMP_TRACE_TAIL: usize = 64;
+/// Merged trace events kept in a `--dump-on-failure` snapshot.
+const DUMP_TRACE_TAIL: usize = 256;
 
 /// The `--dump-on-failure` crash snapshot: the structured failure plus
-/// enough context (summary, the tail of each core's event trace) to
+/// enough context (summary, the tail of the merged event trace) to
 /// diagnose it without re-running. Owned because the offline serde
 /// stand-in cannot derive for generic (borrowing) types.
 #[derive(Serialize)]
@@ -69,21 +83,21 @@ struct CrashDump {
     cycles: u64,
     timed_out: bool,
     failure: Option<SimError>,
-    /// Last [`DUMP_TRACE_TAIL`] trace events of each core.
-    trace_tail: Vec<Vec<CoreEvent>>,
+    /// Events evicted from the bounded rings before the run stopped.
+    trace_dropped: u64,
+    /// Last [`DUMP_TRACE_TAIL`] events of the merged machine trace.
+    trace_tail: Vec<TraceEvent>,
 }
 
 fn write_crash_dump(path: &str, report: &RunReport) -> Result<(), String> {
+    let tail = &report.trace[report.trace.len().saturating_sub(DUMP_TRACE_TAIL)..];
     let dump = CrashDump {
         summary: report.summary(),
         cycles: report.cycles,
         timed_out: report.timed_out,
         failure: report.failure.clone(),
-        trace_tail: report
-            .traces
-            .iter()
-            .map(|t| t[t.len().saturating_sub(DUMP_TRACE_TAIL)..].to_vec())
-            .collect(),
+        trace_dropped: report.trace_dropped,
+        trace_tail: tail.to_vec(),
     };
     let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
     std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
@@ -119,11 +133,93 @@ fn load_programs(paths: &[String]) -> Result<Vec<Program>, String> {
         .collect()
 }
 
+/// Built-in paper workloads (`--workload`), so the canonical figures can
+/// be traced without shipping assembly files.
+#[derive(Debug, Clone, Copy)]
+enum Workload {
+    /// Figure 5's two-processor segment with the canonical antagonist
+    /// timing (delay 50, new D = 5) and primed caches.
+    Figure5,
+    /// Figure 2 example 1 (the producer), single processor.
+    Example1,
+    /// Figure 2 example 2 (the consumer), `D` pre-cached.
+    Example2,
+}
+
+/// The antagonist parameters behind `--workload figure5` — the same pair
+/// the Figure 5 integration test pins.
+const FIG5_DELAY: u32 = 50;
+const FIG5_NEW_D: u64 = 5;
+
+impl Workload {
+    fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "figure5" | "fig5" => Ok(Workload::Figure5),
+            "example1" | "ex1" => Ok(Workload::Example1),
+            "example2" | "ex2" => Ok(Workload::Example2),
+            other => Err(format!(
+                "unknown workload `{other}` (try figure5, example1, example2)"
+            )),
+        }
+    }
+
+    fn programs(self) -> Vec<Program> {
+        match self {
+            Workload::Figure5 => vec![
+                paper::figure5_main(),
+                paper::figure5_antagonist(FIG5_DELAY, FIG5_NEW_D),
+            ],
+            Workload::Example1 => vec![paper::example1()],
+            Workload::Example2 => vec![paper::example2()],
+        }
+    }
+
+    fn setup(self, m: &mut Machine) {
+        match self {
+            Workload::Figure5 => paper::setup_figure5(m, FIG5_NEW_D),
+            Workload::Example1 => {}
+            Workload::Example2 => paper::setup_example2(m),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+enum TraceFormat {
+    #[default]
+    Chrome,
+    Fig5,
+    Csv,
+}
+
+impl TraceFormat {
+    fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "fig5" => Ok(TraceFormat::Fig5),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!(
+                "unknown trace format `{other}` (try chrome, fig5, csv)"
+            )),
+        }
+    }
+
+    fn render(self, events: &[TraceEvent], filter: &TraceFilter) -> String {
+        match self {
+            TraceFormat::Chrome => chrome::render(events, filter),
+            TraceFormat::Fig5 => fig5::render(events, filter),
+            TraceFormat::Csv => csv::render(events, filter),
+        }
+    }
+}
+
 struct RunOpts {
     files: Vec<String>,
+    workload: Option<Workload>,
     cfg: MachineConfig,
     mem_init: Vec<(u64, u64)>,
-    trace: bool,
+    trace_path: Option<String>,
+    trace_format: TraceFormat,
+    trace_filter: TraceFilter,
     timeline: bool,
     breakdown: bool,
     json: bool,
@@ -134,9 +230,12 @@ struct RunOpts {
 fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
     let mut o = RunOpts {
         files: Vec::new(),
+        workload: None,
         cfg: MachineConfig::paper_with(Model::Sc, Techniques::BOTH),
         mem_init: Vec::new(),
-        trace: false,
+        trace_path: None,
+        trace_format: TraceFormat::default(),
+        trace_filter: TraceFilter::default(),
         timeline: false,
         breakdown: false,
         json: false,
@@ -189,6 +288,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                     parse_u64(val).ok_or("bad --mem value")?,
                 ));
             }
+            "--workload" => o.workload = Some(Workload::parse(&value("--workload")?)?),
             "--invariants" => {
                 let v = value("--invariants")?;
                 o.cfg.guard.invariant_period = if v == "off" {
@@ -206,7 +306,22 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
             }
             "--trace" => {
                 o.cfg.trace = true;
-                o.trace = true;
+                o.trace_path = Some(value("--trace")?);
+            }
+            "--trace-format" => o.trace_format = TraceFormat::parse(&value("--trace-format")?)?,
+            "--trace-cycles" => {
+                let v = value("--trace-cycles")?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("--trace-cycles expects A..B, got `{v}`"))?;
+                o.trace_filter.cycles = Some((
+                    parse_u64(a).ok_or("bad --trace-cycles start")?,
+                    parse_u64(b).ok_or("bad --trace-cycles end")?,
+                ));
+            }
+            "--trace-proc" => {
+                o.trace_filter.proc =
+                    Some(parse_u64(&value("--trace-proc")?).ok_or("bad --trace-proc")? as usize);
             }
             "--timeline" => {
                 o.cfg.trace = true;
@@ -220,14 +335,29 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         }
     }
     o.cfg.proc.techniques = o.cfg.techniques;
+    if o.workload.is_some() && !o.files.is_empty() {
+        return Err("give either --workload or program files, not both".into());
+    }
     Ok(o)
+}
+
+impl RunOpts {
+    fn programs(&self) -> Result<Vec<Program>, String> {
+        match self.workload {
+            Some(w) => Ok(w.programs()),
+            None => load_programs(&self.files),
+        }
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let o = parse_run_opts(args)?;
-    let programs = load_programs(&o.files)?;
+    let programs = o.programs()?;
     let mut m = Machine::new(o.cfg, programs);
     m.set_fast_forward(!o.no_fast_forward);
+    if let Some(w) = o.workload {
+        w.setup(&mut m);
+    }
     for (a, v) in &o.mem_init {
         m.write_memory(*a, *v);
     }
@@ -237,6 +367,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             write_crash_dump(path, &report)?;
         }
     }
+    if let Some(path) = &o.trace_path {
+        let rendered = o.trace_format.render(&report.trace, &o.trace_filter);
+        if path == "-" {
+            print!("{rendered}");
+        } else {
+            std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("mcsim: trace written to {path}");
+        }
+    }
     if o.json {
         println!(
             "{}",
@@ -244,18 +383,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
         return Ok(());
     }
-    if o.trace {
-        for (p, t) in report.traces.iter().enumerate() {
-            for e in t {
-                println!(
-                    "proc {p} cycle {:>6} [pc {:>3}] {:?}",
-                    e.cycle, e.pc, e.kind
-                );
-            }
-        }
-    }
     if o.timeline {
-        print!("{}", mcsim::sim::render_timeline(&report.traces, 72));
+        print!("{}", mcsim::sim::render_timeline(&report.trace, 72));
     }
     if o.breakdown {
         print!("{}", mcsim::sim::render_breakdown(&report, 72));
@@ -285,14 +414,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_matrix(args: &[String]) -> Result<(), String> {
     let o = parse_run_opts(args)?;
-    let programs = load_programs(&o.files)?;
+    let programs = o.programs()?;
     let mem_init = o.mem_init.clone();
+    let workload = o.workload;
     let rows = run_matrix(
         &o.cfg,
         &Model::ALL_EXTENDED,
         &Techniques::ALL,
         || programs.clone(),
         |m| {
+            if let Some(w) = workload {
+                w.setup(m);
+            }
             for (a, v) in &mem_init {
                 m.write_memory(*a, *v);
             }
@@ -312,6 +445,18 @@ fn cmd_asm(args: &[String]) -> Result<(), String> {
         println!("{p}");
         println!("round-trip:\n{}", asm::disassemble(p));
     }
+    Ok(())
+}
+
+/// `mcsim check-json <file>` — the CI helper that asserts an exported
+/// trace (or any artifact) is a well-formed JSON document.
+fn cmd_check_json(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("check-json expects exactly one file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::parse_value(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    println!("{path}: valid JSON ({} bytes)", text.len());
     Ok(())
 }
 
@@ -341,6 +486,10 @@ fn main() -> ExitCode {
             Err(e) => fail(&e),
         },
         Some("asm") => match cmd_asm(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("check-json") => match cmd_check_json(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },

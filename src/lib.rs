@@ -12,6 +12,8 @@
 //! * [`mem`] — lockup-free caches, directory coherence, timing model.
 //! * [`proc`] — the out-of-order core: reorder buffer, store buffer,
 //!   speculative-load buffer, hardware prefetch unit.
+//! * [`trace`] — the structured event taxonomy, bounded ring sink, and
+//!   the Chrome / Figure-5 / CSV exporters.
 //! * [`sim`] — the multiprocessor machine, statistics, event traces, the
 //!   experiment harness and the SC oracle.
 //! * [`guard`] — runtime verification: structured simulation errors,
@@ -40,6 +42,7 @@ pub use mcsim_guard as guard;
 pub use mcsim_isa as isa;
 pub use mcsim_mem as mem;
 pub use mcsim_proc as proc;
+pub use mcsim_trace as trace;
 pub use mcsim_workloads as workloads;
 
 /// Convenience re-exports of the types most programs need.

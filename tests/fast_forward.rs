@@ -28,7 +28,13 @@ use proptest::prelude::*;
 /// Runs the same configuration with fast-forward on and off and returns
 /// both (report, telemetry) pairs, after asserting the reports serialize
 /// byte-identically and the telemetry covers the same span of time.
-fn run_both(cfg: Cfg, programs: Vec<Program>) -> (RunReport, RunTelemetry) {
+///
+/// Tracing is forced on, so the byte comparison also proves the event
+/// traces are identical across modes — quiescent spans emit no events by
+/// construction, and their emission counters sit inside the quiescence
+/// fingerprints, so a span that would emit is never skipped.
+fn run_both(mut cfg: Cfg, programs: Vec<Program>) -> (RunReport, RunTelemetry) {
+    cfg.trace = true;
     let (fast, fast_t) = Machine::new(cfg, programs.clone()).run_telemetry();
     let mut slow_machine = Machine::new(cfg, programs);
     slow_machine.set_fast_forward(false);
@@ -36,6 +42,11 @@ fn run_both(cfg: Cfg, programs: Vec<Program>) -> (RunReport, RunTelemetry) {
     let fast_json = serde_json::to_string(&fast).expect("serializes");
     let slow_json = serde_json::to_string(&slow).expect("serializes");
     assert_eq!(fast_json, slow_json, "reports must be bit-identical");
+    assert!(
+        !fast.trace.is_empty(),
+        "tracing was on; the trace \
+            comparison above must not be vacuous"
+    );
     assert_eq!(slow_t.skipped_cycles, 0, "disabled means no skipping");
     assert_eq!(
         fast_t.stepped_cycles + fast_t.skipped_cycles,
@@ -132,6 +143,33 @@ fn figure2_examples_fast_forward_and_stay_identical() {
     );
     assert!(telemetry.spans > 0);
     assert!(telemetry.speedup() > 1.5);
+}
+
+#[test]
+fn figure5_trace_is_identical_across_fast_forward_modes() {
+    // The Figure 5 pair exercises every event family — speculative
+    // loads, exclusive prefetches, a mid-flight invalidation with
+    // rollback and reissue — on a miss-dominated (hence heavily
+    // fast-forwarded) run with primed caches. Its merged trace must not
+    // move by a single event between the two loop modes.
+    let mut cfg = Cfg::paper_with(Model::Sc, Techniques::BOTH);
+    cfg.trace = true;
+    let build = || {
+        let mut m = Machine::new(
+            cfg,
+            vec![paper::figure5_main(), paper::figure5_antagonist(50, 5)],
+        );
+        paper::setup_figure5(&mut m, 5);
+        m
+    };
+    let (fast, fast_t) = build().run_telemetry();
+    let mut slow_machine = build();
+    slow_machine.set_fast_forward(false);
+    let (slow, _) = slow_machine.run_telemetry();
+    assert!(fast_t.skipped_cycles > 0, "fast path must engage");
+    assert!(!fast.trace.is_empty());
+    assert_eq!(fast.trace, slow.trace, "merged traces must be identical");
+    assert_eq!(fast.trace_dropped, 0);
 }
 
 #[test]

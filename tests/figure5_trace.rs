@@ -6,27 +6,23 @@
 //!
 //! under SC with speculative loads + prefetch for stores, where an
 //! invalidation for `D` arrives after its speculated value has been
-//! consumed. The paper walks nine events; this test asserts the
-//! machine-visible essence of that walk:
+//! consumed. The paper walks nine events; this suite asserts both the
+//! machine-visible essence of that walk (event-sequence assertions) and
+//! the *exact rendered picture*: the Figure-5 buffer timeline and the
+//! Figure-2 traces are compared byte-for-byte against golden files in
+//! `tests/golden/`. Regenerate them after an intentional change with
 //!
-//! 1. the loads issue speculatively and the stores are prefetched in
-//!    read-exclusive mode *before* any store is allowed to issue;
-//! 2. `read D` hits and its (speculative) value feeds `read E[D]`;
-//! 3. the invalidation for `D` triggers the detection mechanism; since
-//!    the value was consumed, `read D` and `read E[D]` are discarded and
-//!    refetched (events 5–6);
-//! 4. the reissued `read D` misses (the line was invalidated), returns
-//!    the *new* value, and `read E[D]` is re-executed with it (event 7);
-//! 5. the stores complete via their prefetched ownership (events 2, 4,
-//!    8), and the final architectural state reflects the post-
-//!    invalidation values (event 9).
+//! ```sh
+//! BLESS=1 cargo test --test figure5_trace
+//! ```
 
 use mcsim::prelude::*;
-use mcsim::proc::core::{EventKind, IssueOutcome};
 use mcsim::sim::MachineConfig as Cfg;
+use mcsim::trace::{csv, fig5, IssueOutcome, TraceFilter, TraceKind};
 use mcsim::workloads::paper;
 use mcsim_consistency::Model;
 use mcsim_isa::reg::{R1, R3, R4};
+use std::path::Path;
 
 const NEW_D: u64 = 5;
 
@@ -46,19 +42,87 @@ fn run_figure5(delay: u32) -> mcsim::sim::RunReport {
     report
 }
 
+/// Compares `rendered` against the checked-in golden file, or rewrites
+/// the golden when the `BLESS` environment variable is set.
+fn assert_golden(rendered: &str, name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with BLESS=1 once)",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == golden,
+        "{name} diverges from the golden file; if the change is intentional, \
+         regenerate with BLESS=1 cargo test --test figure5_trace.\n--- rendered ---\n{rendered}",
+    );
+}
+
+#[test]
+fn figure5_timeline_matches_golden() {
+    let report = run_figure5(50);
+    // Processor 0 is the figure's subject; the antagonist's lone store
+    // would only add noise to the picture.
+    let filter = TraceFilter {
+        proc: Some(0),
+        ..TraceFilter::default()
+    };
+    assert_golden(&fig5::render(&report.trace, &filter), "figure5.txt");
+}
+
+/// Both Figure 2 segments, traced across every model × technique cell,
+/// pinned as CSV golden files. Any change to event emission order,
+/// timing, or the taxonomy itself shows up as a diff here.
+#[test]
+fn figure2_traces_match_golden() {
+    for (name, golden) in [
+        ("example1", "figure2_example1.csv"),
+        ("example2", "figure2_example2.csv"),
+    ] {
+        let mut out = String::new();
+        for model in Model::ALL {
+            for t in Techniques::ALL {
+                let mut cfg = Cfg::paper_with(model, t);
+                cfg.trace = true;
+                let m = match name {
+                    "example1" => Machine::new(cfg, vec![paper::example1()]),
+                    _ => {
+                        let mut m = Machine::new(cfg, vec![paper::example2()]);
+                        paper::setup_example2(&mut m);
+                        m
+                    }
+                };
+                let report = m.run();
+                assert!(!report.timed_out, "{name} {model}/{t}");
+                out.push_str(&format!("== {} / {} ==\n", model.name(), t.label()));
+                out.push_str(&csv::render(&report.trace, &TraceFilter::default()));
+            }
+        }
+        assert_golden(&out, golden);
+    }
+}
+
 #[test]
 fn figure5_event_sequence() {
     let report = run_figure5(50);
-    let trace = &report.traces[0];
+    let trace: Vec<_> = report.trace.iter().filter(|e| e.proc == 0).collect();
 
     // -- Event 1: reads issued speculatively, writes prefetched. --
     let load_a = trace
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::A))
+        .find(|e| matches!(&e.kind, TraceKind::LoadIssue { addr, .. } if addr.0 == paper::A))
         .expect("read A issued");
     assert!(matches!(
         load_a.kind,
-        EventKind::LoadIssued {
+        TraceKind::LoadIssue {
             outcome: IssueOutcome::Miss,
             speculative: true,
             ..
@@ -66,20 +130,20 @@ fn figure5_event_sequence() {
     ));
     let pf_b = trace
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::PrefetchIssued { addr, exclusive: true } if addr.0 == paper::B))
+        .find(|e| matches!(&e.kind, TraceKind::PrefetchIssue { addr, exclusive: true } if addr.0 == paper::B))
         .expect("write B prefetched read-exclusive");
     let pf_c = trace
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::PrefetchIssued { addr, exclusive: true } if addr.0 == paper::C))
+        .find(|e| matches!(&e.kind, TraceKind::PrefetchIssue { addr, exclusive: true } if addr.0 == paper::C))
         .expect("write C prefetched read-exclusive");
     let load_d_first = trace
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::D))
+        .find(|e| matches!(&e.kind, TraceKind::LoadIssue { addr, .. } if addr.0 == paper::D))
         .expect("read D issued");
     assert!(
         matches!(
             load_d_first.kind,
-            EventKind::LoadIssued {
+            TraceKind::LoadIssue {
                 outcome: IssueOutcome::Hit,
                 speculative: true,
                 ..
@@ -91,13 +155,13 @@ fn figure5_event_sequence() {
     let old_e = paper::E_BASE + paper::D_VALUE * 8;
     trace
         .iter()
-        .find(|e| matches!(&e.kind, EventKind::LoadIssued { addr, speculative: true, .. } if addr.0 == old_e))
+        .find(|e| matches!(&e.kind, TraceKind::LoadIssue { addr, speculative: true, .. } if addr.0 == old_e))
         .expect("read E[D] issued speculatively with the speculated index");
 
     // Stores must not issue before their prefetches went out.
     let first_store = trace
         .iter()
-        .find(|e| matches!(e.kind, EventKind::StoreIssued { .. }))
+        .find(|e| matches!(e.kind, TraceKind::StoreIssue { .. }))
         .expect("stores eventually issue");
     assert!(
         pf_b.cycle < first_store.cycle,
@@ -111,9 +175,9 @@ fn figure5_event_sequence() {
     // -- Events 5-6: the invalidation rolls back D and E[D]. --
     let rollback = trace
         .iter()
-        .find(|e| matches!(e.kind, EventKind::Rollback { .. }))
+        .find(|e| matches!(e.kind, TraceKind::Rollback { .. }))
         .expect("invalidation for D triggers a rollback");
-    let EventKind::Rollback { squashed, .. } = rollback.kind else {
+    let TraceKind::Rollback { squashed, .. } = rollback.kind else {
         unreachable!()
     };
     // read D, read E[D], and everything fetched after them (here: the
@@ -122,19 +186,31 @@ fn figure5_event_sequence() {
     assert!(squashed >= 2, "at least read D and read E[D] are discarded");
     assert!(rollback.cycle > load_d_first.cycle);
 
+    // The invalidation that caused it is in the memory-side trace, at or
+    // before the rollback.
+    let inv = report
+        .trace
+        .iter()
+        .find(|e| {
+            e.proc == 0
+                && matches!(&e.kind, TraceKind::Invalidation { line } if line.0 == paper::D >> 6)
+        })
+        .expect("the antagonist's store invalidates D at processor 0");
+    assert!(inv.cycle <= rollback.cycle);
+
     // -- Event 6-7: D reissued, now a miss; E[D] re-executed with the
     //    new value. --
     let load_d_again = trace
         .iter()
         .find(|e| {
             e.cycle > rollback.cycle
-                && matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == paper::D)
+                && matches!(&e.kind, TraceKind::LoadIssue { addr, .. } if addr.0 == paper::D)
         })
         .expect("read D reissued after the rollback");
     assert!(
         matches!(
             load_d_again.kind,
-            EventKind::LoadIssued {
+            TraceKind::LoadIssue {
                 outcome: IssueOutcome::Miss,
                 ..
             }
@@ -146,7 +222,7 @@ fn figure5_event_sequence() {
         .iter()
         .find(|e| {
             e.cycle > rollback.cycle
-                && matches!(&e.kind, EventKind::LoadIssued { addr, .. } if addr.0 == new_e)
+                && matches!(&e.kind, TraceKind::LoadIssue { addr, .. } if addr.0 == new_e)
         })
         .expect("read E[D] re-executed with the new index");
 
@@ -155,12 +231,12 @@ fn figure5_event_sequence() {
     for (name, addr) in [("B", paper::B), ("C", paper::C)] {
         let st = trace
             .iter()
-            .find(|e| matches!(&e.kind, EventKind::StoreIssued { addr: a, .. } if a.0 == addr))
+            .find(|e| matches!(&e.kind, TraceKind::StoreIssue { addr: a, .. } if a.0 == addr))
             .unwrap_or_else(|| panic!("store {name} issued"));
         assert!(
             matches!(
                 st.kind,
-                EventKind::StoreIssued {
+                TraceKind::StoreIssue {
                     outcome: IssueOutcome::Hit | IssueOutcome::Merged,
                     ..
                 }

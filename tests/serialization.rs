@@ -19,7 +19,8 @@ fn run_report_roundtrips_through_json() {
     assert_eq!(back.cycles, report.cycles);
     assert_eq!(back.total.speculative_loads, report.total.speculative_loads);
     assert_eq!(back.memory, report.memory);
-    assert_eq!(back.traces[0].len(), report.traces[0].len());
+    assert!(!report.trace.is_empty(), "tracing was enabled");
+    assert_eq!(back.trace, report.trace);
     assert_eq!(
         back.regfiles[0].read(mcsim_isa::reg::R4),
         report.regfiles[0].read(mcsim_isa::reg::R4)
