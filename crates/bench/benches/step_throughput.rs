@@ -190,7 +190,19 @@ fn render(results: &[ClassResult]) {
 }
 
 fn check(results: &[ClassResult], baseline_path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(baseline_path)
+    // Cargo runs bench binaries from the package directory; accept paths
+    // relative to the workspace root too so `cargo bench -p mcsim-bench`
+    // can name the checked-in baseline directly.
+    let mut path = std::path::PathBuf::from(baseline_path);
+    if !path.exists() {
+        let from_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(baseline_path);
+        if from_root.exists() {
+            path = from_root;
+        }
+    }
+    let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let baseline: Vec<ClassResult> =
         serde_json::from_str(&text).map_err(|e| format!("invalid baseline: {e}"))?;

@@ -1,4 +1,5 @@
-//! The four consistency models and their delay-arc relations (Figure 1).
+//! The consistency models and their delay-arc relations (Figure 1),
+//! plus the TSO/PSO store-buffer models between SC and WC.
 
 use crate::access::{AccessClass, Outstanding};
 use serde::{Deserialize, Serialize};
@@ -12,8 +13,16 @@ use std::fmt;
 pub enum Model {
     /// Sequential consistency (Lamport 1979).
     Sc,
+    /// Total store ordering (SPARC V8): exactly one relaxation of SC —
+    /// an ordinary load may bypass an earlier ordinary store (the FIFO
+    /// store buffer). Synchronization accesses stay fully ordered.
+    Tso,
     /// Processor consistency (Goodman 1989).
     Pc,
+    /// Partial store ordering (SPARC V8): TSO minus the ordinary
+    /// store → ordinary store arc — stores to different lines drain from
+    /// the buffer out of order. Sync accesses stay fully ordered.
+    Pso,
     /// Weak consistency, `WCsc` variant (Dubois, Scheurich & Briggs 1986).
     Wc,
     /// Release consistency, `RCsc` variant: like [`Model::Rc`] but the
@@ -31,15 +40,26 @@ impl Model {
     /// The four models the paper discusses, strictest first.
     pub const ALL: [Model; 4] = [Model::Sc, Model::Pc, Model::Wc, Model::Rc];
 
-    /// All implemented models including the RCsc extension.
-    pub const ALL_EXTENDED: [Model; 5] = [Model::Sc, Model::Pc, Model::Wc, Model::RcSc, Model::Rc];
+    /// All implemented models including the TSO/PSO store-buffer models
+    /// and the RCsc extension, strictest first.
+    pub const ALL_EXTENDED: [Model; 7] = [
+        Model::Sc,
+        Model::Tso,
+        Model::Pc,
+        Model::Pso,
+        Model::Wc,
+        Model::RcSc,
+        Model::Rc,
+    ];
 
     /// Short uppercase name as used in the paper (`SC`, `PC`, `WC`, `RC`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Model::Sc => "SC",
+            Model::Tso => "TSO",
             Model::Pc => "PC",
+            Model::Pso => "PSO",
             Model::Wc => "WC",
             Model::RcSc => "RCsc",
             Model::Rc => "RC",
@@ -51,7 +71,9 @@ impl Model {
     pub fn description(self) -> &'static str {
         match self {
             Model::Sc => "sequential consistency: program order among all shared accesses",
+            Model::Tso => "total store ordering: a FIFO store buffer; loads bypass earlier stores",
             Model::Pc => "processor consistency: reads may bypass earlier writes",
+            Model::Pso => "partial store ordering: TSO with stores draining out of order",
             Model::Wc => "weak consistency (WCsc): sync accesses are full barriers",
             Model::RcSc => {
                 "release consistency (RCsc): RC with sequentially consistent special accesses"
@@ -70,9 +92,27 @@ impl Model {
     /// processor model and are deliberately not part of this relation.
     #[must_use]
     pub fn must_delay(self, earlier: AccessClass, later: AccessClass) -> bool {
+        // An ordinary *pure* store / load (not an RMW, not sync) — the only
+        // accesses the store-buffer models relax.
+        let buffered_store = |c: AccessClass| c.writes && !c.reads && !c.is_sync();
+        let ordinary_load = |c: AccessClass| c.reads && !c.writes && !c.is_sync();
         match self {
             // SC: shared accesses perform in program order — every pair.
             Model::Sc => true,
+
+            // TSO: SC minus exactly one arc — an ordinary load may bypass
+            // an earlier ordinary store sitting in the FIFO store buffer.
+            // RMWs and sync accesses stay fully ordered (atomics drain the
+            // buffer), so TSO is strictly between SC and PC.
+            Model::Tso => !(buffered_store(earlier) && ordinary_load(later)),
+
+            // PSO: TSO minus the ordinary store -> ordinary store arc —
+            // buffered stores drain out of order. Everything into or out of
+            // a sync access (and anything involving an RMW) stays ordered,
+            // so PSO is strictly between TSO and WC.
+            Model::Pso => {
+                !(buffered_store(earlier) && (ordinary_load(later) || buffered_store(later)))
+            }
 
             // PC: LOAD->LOAD, LOAD->STORE, STORE->STORE arcs; the STORE->LOAD
             // arc is absent (reads bypass earlier writes). An access that
@@ -135,10 +175,12 @@ impl Model {
     pub fn strictness(self) -> u8 {
         match self {
             Model::Sc => 0,
-            Model::Pc => 1,
-            Model::Wc => 2,
-            Model::RcSc => 3,
-            Model::Rc => 4,
+            Model::Tso => 1,
+            Model::Pc => 2,
+            Model::Pso => 3,
+            Model::Wc => 4,
+            Model::RcSc => 5,
+            Model::Rc => 6,
         }
     }
 }
@@ -155,7 +197,9 @@ impl std::str::FromStr for Model {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_uppercase().as_str() {
             "SC" => Ok(Model::Sc),
+            "TSO" => Ok(Model::Tso),
             "PC" => Ok(Model::Pc),
+            "PSO" => Ok(Model::Pso),
             "WC" => Ok(Model::Wc),
             "RCSC" => Ok(Model::RcSc),
             "RC" | "RCPC" => Ok(Model::Rc),
@@ -296,10 +340,69 @@ mod tests {
 
     #[test]
     fn strictness_ranks() {
-        assert!(Model::Sc.strictness() < Model::Pc.strictness());
-        assert!(Model::Pc.strictness() < Model::Wc.strictness());
-        assert!(Model::Wc.strictness() < Model::RcSc.strictness());
-        assert!(Model::RcSc.strictness() < Model::Rc.strictness());
+        // ALL_EXTENDED is strictest-first and agrees with the derived Ord.
+        for pair in Model::ALL_EXTENDED.windows(2) {
+            assert!(pair[0].strictness() < pair[1].strictness());
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn tso_relaxes_exactly_store_load() {
+        // The single missing arc.
+        assert!(!Model::Tso.must_delay(ST, LD));
+        // Everything else is SC-ordered, including all sync pairs and RMWs.
+        for e in [LD, ST, ACQ, ACQ_LD, REL] {
+            for l in [LD, ST, ACQ, ACQ_LD, REL] {
+                if !(e == ST && l == LD) {
+                    assert!(Model::Tso.must_delay(e, l), "{e} -> {l} ordered under TSO");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pso_additionally_relaxes_store_store() {
+        assert!(!Model::Pso.must_delay(ST, LD));
+        assert!(!Model::Pso.must_delay(ST, ST));
+        // A release is a sync store: buffered stores still order into it,
+        // and it orders into everything.
+        assert!(Model::Pso.must_delay(ST, REL));
+        assert!(Model::Pso.must_delay(REL, ST));
+        // RMWs drain the buffer on both ends.
+        assert!(Model::Pso.must_delay(ST, ACQ));
+        assert!(Model::Pso.must_delay(ACQ, LD));
+        // Loads stay fully ordered (PSO relaxes only the store buffer).
+        assert!(Model::Pso.must_delay(LD, LD));
+        assert!(Model::Pso.must_delay(LD, ST));
+    }
+
+    #[test]
+    fn store_buffer_models_nest_between_sc_and_wc() {
+        // Arc-set containment along the chains SC ⊇ TSO ⊇ PC and
+        // SC ⊇ TSO ⊇ PSO ⊇ WC (PC and PSO are incomparable, like PC/WC).
+        let classes = [LD, ST, ACQ, ACQ_LD, REL];
+        for e in classes {
+            for l in classes {
+                if Model::Tso.must_delay(e, l) {
+                    assert!(Model::Sc.must_delay(e, l));
+                }
+                if Model::Pc.must_delay(e, l) {
+                    assert!(Model::Tso.must_delay(e, l), "{e}->{l}: PC arc not in TSO");
+                }
+                if Model::Pso.must_delay(e, l) {
+                    assert!(Model::Tso.must_delay(e, l), "{e}->{l}: PSO arc not in TSO");
+                }
+                if Model::Wc.must_delay(e, l) {
+                    assert!(Model::Pso.must_delay(e, l), "{e}->{l}: WC arc not in PSO");
+                }
+            }
+        }
+        // Strictness is strict: each step drops at least one arc.
+        assert!(!Model::Tso.must_delay(ST, LD) && Model::Sc.must_delay(ST, LD));
+        assert!(!Model::Pc.must_delay(REL, ACQ_LD) && Model::Tso.must_delay(REL, ACQ_LD));
+        assert!(!Model::Pso.must_delay(ST, ST) && Model::Tso.must_delay(ST, ST));
+        assert!(!Model::Wc.must_delay(LD, LD) && Model::Pso.must_delay(LD, LD));
     }
 
     #[test]
@@ -324,6 +427,12 @@ mod tests {
     fn extended_parse() {
         assert_eq!("RCsc".parse::<Model>().unwrap(), Model::RcSc);
         assert_eq!("rcpc".parse::<Model>().unwrap(), Model::Rc);
-        assert_eq!(Model::ALL_EXTENDED.len(), 5);
+        assert_eq!("tso".parse::<Model>().unwrap(), Model::Tso);
+        assert_eq!("PSO".parse::<Model>().unwrap(), Model::Pso);
+        assert_eq!(Model::ALL_EXTENDED.len(), 7);
+        for m in Model::ALL_EXTENDED {
+            let parsed: Model = m.name().parse().unwrap();
+            assert_eq!(parsed, m);
+        }
     }
 }

@@ -41,7 +41,8 @@ pub fn render_model(model: Model) -> String {
     out
 }
 
-/// Renders all four models' tables (the full Figure 1).
+/// Renders every implemented model's table (the full Figure 1, extended
+/// with TSO/PSO and RCsc).
 #[must_use]
 pub fn render_all() -> String {
     let mut out =
@@ -75,10 +76,19 @@ mod tests {
 
     #[test]
     fn strictly_fewer_arcs_down_the_spectrum() {
-        assert!(arc_count(Model::Pc) < arc_count(Model::Sc));
-        assert!(arc_count(Model::Wc) < arc_count(Model::Sc));
+        assert!(arc_count(Model::Tso) < arc_count(Model::Sc));
+        assert!(arc_count(Model::Pc) < arc_count(Model::Tso));
+        assert!(arc_count(Model::Pso) < arc_count(Model::Tso));
+        assert!(arc_count(Model::Wc) < arc_count(Model::Pso));
         assert!(arc_count(Model::RcSc) < arc_count(Model::Wc));
         assert!(arc_count(Model::Rc) < arc_count(Model::RcSc));
+    }
+
+    #[test]
+    fn store_buffer_model_arc_counts() {
+        // TSO drops exactly the store->load arc; PSO also store->store.
+        assert_eq!(arc_count(Model::Tso), 24);
+        assert_eq!(arc_count(Model::Pso), 23);
     }
 
     #[test]

@@ -13,6 +13,22 @@ use mcsim_isa::Program;
 use mcsim_proc::Techniques;
 use serde::{Deserialize, Serialize};
 
+/// Deterministic per-seed configuration variation for conformance
+/// sweeps: different miss latencies, reorder-buffer sizes, and coherence
+/// protocols shake out different interleavings of the same program
+/// without sacrificing run-to-run reproducibility. Used by the
+/// conformance tests and `mcsim oracle check`.
+#[must_use]
+pub fn conformance_config(model: Model, techniques: Techniques, seed: u64) -> MachineConfig {
+    let mut cfg = MachineConfig::paper_with(model, techniques);
+    cfg.mem.timings = mcsim_mem::MemTimings::with_miss_latency(20 + 2 * (seed % 7));
+    cfg.proc.rob_size = [4, 8, 16, 64][(seed % 4) as usize];
+    if seed.is_multiple_of(3) {
+        cfg.mem.protocol = mcsim_mem::Protocol::Update;
+    }
+    cfg
+}
+
 /// One cell of a model × technique comparison.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MatrixRow {
@@ -207,13 +223,16 @@ mod tests {
     fn matrix_runs_all_cells() {
         let rows = run_matrix(
             &MachineConfig::paper(),
-            &Model::ALL,
+            &Model::ALL_EXTENDED,
             &Techniques::ALL,
             two_store_workload,
             |_| {},
         )
         .expect("no cell fails");
-        assert_eq!(rows.len(), 16);
+        assert_eq!(
+            rows.len(),
+            Model::ALL_EXTENDED.len() * Techniques::ALL.len()
+        );
         // SC conventional is the slowest cell; RC+both among the fastest.
         let sc_base = rows
             .iter()
@@ -232,7 +251,7 @@ mod tests {
     fn equalization_spread_shrinks_with_both_techniques() {
         let rows = run_matrix(
             &MachineConfig::paper(),
-            &Model::ALL,
+            &Model::ALL_EXTENDED,
             &[Techniques::NONE, Techniques::BOTH],
             two_store_workload,
             |_| {},

@@ -8,12 +8,10 @@
 //!   memory/caches, run to completion, get a [`RunReport`].
 //! * [`report`] — serializable run results: cycle counts, per-core and
 //!   memory statistics, final register files, event traces.
-//! * [`oracle`] — a reference *sequentially consistent* executor: it
-//!   enumerates every interleaving of the per-processor programs executed
-//!   on an atomic memory and returns the set of legal final states.
-//!   Litmus tests check that every simulated execution under SC (with any
-//!   technique combination) lands in this set — the correctness backstop
-//!   for the speculation machinery.
+//! * [`oracle`] — re-export of `mcsim-oracle`, the per-model execution
+//!   enumerator: the complete set of allowed final states under each
+//!   consistency model (SC membership is the paper's §4.2 correctness
+//!   statement; the conformance tests check every model against it).
 //! * [`harness`] — experiment helpers: run a model × technique matrix and
 //!   format the comparison tables of EXPERIMENTS.md.
 
@@ -22,15 +20,19 @@
 
 pub mod harness;
 pub mod machine;
-pub mod oracle;
 pub mod report;
 pub mod trace;
 
-pub use harness::{format_table, model_spread, run_matrix, try_run_matrix, CellFailure, MatrixRow};
+pub use mcsim_oracle as oracle;
+
+pub use harness::{
+    conformance_config, format_table, model_spread, run_matrix, try_run_matrix, CellFailure,
+    MatrixRow,
+};
 pub use machine::{Machine, MachineConfig, RunTelemetry};
 pub use mcsim_guard::{
     FaultKind, GuardConfig, InvariantKind, SimError, SimErrorKind, StallClass, StallReport,
 };
-pub use oracle::{sc_outcomes, OracleConfig, Outcome};
+pub use mcsim_oracle::{sc_outcomes, OracleConfig, Outcome};
 pub use report::RunReport;
 pub use trace::{render_breakdown, render_timeline};

@@ -598,7 +598,7 @@ mod tests {
             .halt()
             .build()
             .unwrap();
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             for t in Techniques::ALL {
                 let cfg = MachineConfig::paper_with(model, t);
                 let report = Machine::new(cfg, vec![p0.clone(), p1.clone()]).run();
@@ -676,7 +676,7 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             for t in Techniques::ALL {
                 let cfg = MachineConfig::paper_with(model, t);
                 let mut m = Machine::new(cfg, vec![worker("w0"), worker("w1")]);

@@ -34,15 +34,15 @@ fn cs(
 }
 
 /// E6 — §5 model equalization on synthetic critical-section workloads:
-/// all four models × all four technique settings on three contention
-/// regimes.
+/// the full extended model matrix × all four technique settings on
+/// three contention regimes.
 #[must_use]
 pub fn e6_equalization() -> SweepSpec {
     let mut spec = SweepSpec::new(
         "e6-equalization",
         "§5 equalization: model spread collapses once both techniques are on",
     );
-    spec.models = Model::ALL.to_vec();
+    spec.models = Model::ALL_EXTENDED.to_vec();
     spec.techniques = Techniques::ALL.to_vec();
     spec.workloads = vec![
         cs(
@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn grid_sizes_match_experiment_definitions() {
-        assert_eq!(e6_equalization().len(), 3 * 4 * 4);
+        assert_eq!(e6_equalization().len(), 3 * 7 * 4);
         assert_eq!(e7_speculation().len(), 12);
         assert_eq!(e12_latency().len(), 5 * 2 * 2);
         assert_eq!(e13_window().len(), 6);

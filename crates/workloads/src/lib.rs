@@ -4,8 +4,9 @@
 //!   producer (Example 1) and consumer (Example 2), and the Figure 5
 //!   segment with a second processor that invalidates `D` mid-flight.
 //! * [`litmus`] — classic consistency litmus tests (store buffering,
-//!   message passing, coherence, Dekker mutual exclusion) wired to the
-//!   SC oracle in `mcsim-core`.
+//!   message passing, load buffering, IRIW, 2+2W, coherence, Dekker
+//!   mutual exclusion) wired to the per-model enumeration oracle in
+//!   `mcsim-oracle`.
 //! * [`generators`] — parameterized synthetic workloads: critical
 //!   sections, producer/consumer hand-offs, array sweeps, pointer
 //!   chases, hit/miss dependence chains (the §3.3 prefetch-limitation

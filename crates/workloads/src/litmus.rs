@@ -1,18 +1,24 @@
-//! Litmus tests wired to the SC oracle.
+//! Litmus tests wired to the execution-enumeration oracle.
 //!
 //! Each [`Litmus`] bundles the per-processor programs with an initial
-//! memory image. [`Litmus::sc_outcomes`] enumerates the legal
-//! sequentially consistent final states; [`Litmus::run`] simulates one
-//! execution; [`Litmus::outcome_of`] projects the run onto the oracle's
-//! state space so membership can be checked. Under SC — with any
+//! memory image. [`Litmus::allowed_outcomes`] enumerates the legal final
+//! states under any consistency model (delegating to `mcsim-oracle`);
+//! [`Litmus::run`] simulates one execution; [`Litmus::outcome_of`]
+//! projects the run onto the oracle's state space so membership can be
+//! checked with [`Litmus::is_allowed_under`]. Under SC — with any
 //! combination of the paper's techniques — every simulated execution
-//! must be in the oracle set; that is the machine-checkable statement of
-//! the paper's correctness argument (§4.2).
+//! must be in the SC set; that is the machine-checkable statement of
+//! the paper's correctness argument (§4.2). The conformance harness
+//! extends the same membership check to every model in
+//! `Model::ALL_EXTENDED`.
 
-use mcsim_core::{sc_outcomes, Machine, MachineConfig, OracleConfig, Outcome, RunReport};
+use mcsim_consistency::Model;
+use mcsim_core::{Machine, MachineConfig, Outcome, RunReport};
 use mcsim_isa::reg::{R1, R2};
 use mcsim_isa::{Program, ProgramBuilder};
+use mcsim_oracle::OracleConfig;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// A named multiprocessor test with an initial memory image.
 #[derive(Debug, Clone)]
@@ -26,16 +32,22 @@ pub struct Litmus {
 }
 
 impl Litmus {
-    /// Enumerates the sequentially consistent final states.
+    /// Enumerates the final states allowed under `model`.
     #[must_use]
-    pub fn sc_outcomes(&self) -> Vec<Outcome> {
-        let r = sc_outcomes(&self.programs, &self.init, OracleConfig::default());
+    pub fn allowed_outcomes(&self, model: Model) -> Vec<Outcome> {
+        let r = mcsim_oracle::outcomes(model, &self.programs, &self.init, OracleConfig::default());
         assert!(
             r.complete,
-            "{}: oracle exceeded its state budget",
+            "{}: oracle exceeded its state budget under {model}",
             self.name
         );
         r.outcomes.into_iter().collect()
+    }
+
+    /// Enumerates the sequentially consistent final states.
+    #[must_use]
+    pub fn sc_outcomes(&self) -> Vec<Outcome> {
+        self.allowed_outcomes(Model::Sc)
     }
 
     /// Simulates one execution under `cfg`.
@@ -67,16 +79,24 @@ impl Litmus {
         }
     }
 
-    /// Whether `report`'s final state is sequentially consistent.
-    /// Memory comparison is over the union of oracle-mentioned addresses
-    /// (both sides default untouched words to their initial value).
+    /// Whether `report`'s final state is allowed under `model` — the
+    /// conformance check. Memory comparison is over the union of
+    /// oracle-mentioned addresses (both sides default untouched words to
+    /// their initial value).
     #[must_use]
-    pub fn is_sequentially_consistent(&self, report: &RunReport) -> bool {
-        let oracle = self.sc_outcomes();
-        let observed = self.outcome_of(report, &oracle);
-        oracle.iter().any(|o| {
+    pub fn is_allowed_under(&self, model: Model, report: &RunReport) -> bool {
+        let allowed = self.allowed_outcomes(model);
+        let observed = self.outcome_of(report, &allowed);
+        allowed.iter().any(|o| {
             o.regs == observed.regs && observed.memory.iter().all(|(k, v)| o.mem(*k) == *v)
         })
+    }
+
+    /// Whether `report`'s final state is sequentially consistent — the
+    /// SC specialization of [`Litmus::is_allowed_under`].
+    #[must_use]
+    pub fn is_sequentially_consistent(&self, report: &RunReport) -> bool {
+        self.is_allowed_under(Model::Sc, report)
     }
 }
 
@@ -239,6 +259,63 @@ pub fn dekker_attempt() -> Litmus {
     }
 }
 
+/// Independent reads of independent writes:
+/// `P0: x=1` / `P1: y=1` / `P2: r1=x; r2=y` / `P3: r1=y; r2=x`.
+/// The interesting outcome is the two readers disagreeing on the order
+/// of the two writes (P2 sees x first, P3 sees y first) — possible only
+/// on non-store-atomic machines. This simulator's coherence protocol
+/// serializes writes through the directory, so every model forbids it;
+/// the oracle's single atomic memory encodes the same guarantee.
+#[must_use]
+pub fn iriw() -> Litmus {
+    let writer = |name: &'static str, addr: u64| {
+        ProgramBuilder::new(name)
+            .store(addr, 1u64)
+            .halt()
+            .build()
+            .unwrap()
+    };
+    let reader = |name: &'static str, first: u64, second: u64| {
+        ProgramBuilder::new(name)
+            .load(R1, first)
+            .load(R2, second)
+            .halt()
+            .build()
+            .unwrap()
+    };
+    Litmus {
+        name: "iriw",
+        programs: vec![
+            writer("iriw-p0", X),
+            writer("iriw-p1", Y),
+            reader("iriw-p2", X, Y),
+            reader("iriw-p3", Y, X),
+        ],
+        init: BTreeMap::new(),
+    }
+}
+
+/// 2+2W: `P0: x=1; y=2` / `P1: y=1; x=2`. The outcome x=1 ∧ y=1 needs
+/// each processor's *first* store to overwrite the other's *second* —
+/// forbidden while store→store order holds (SC, TSO, PC), allowed once
+/// stores may drain out of order (PSO, WC, RC).
+#[must_use]
+pub fn two_plus_two_w() -> Litmus {
+    let side = |name: &'static str, first: u64, second: u64| {
+        ProgramBuilder::new(name)
+            .store(first, 1u64)
+            .store(second, 2u64)
+            .halt()
+            .build()
+            .unwrap()
+    };
+    Litmus {
+        name: "2+2w",
+        programs: vec![side("2+2w-p0", X, Y), side("2+2w-p1", Y, X)],
+        init: BTreeMap::new(),
+    }
+}
+
 /// The standard suite.
 #[must_use]
 pub fn standard_suite() -> Vec<Litmus> {
@@ -250,6 +327,44 @@ pub fn standard_suite() -> Vec<Litmus> {
         coherence_rr(),
         dekker_attempt(),
     ]
+}
+
+/// The conformance corpus: the classic named litmus shapes whose
+/// per-model allowed sets are pinned as goldens and checked against the
+/// simulator across `Model::ALL_EXTENDED` × techniques × seeds.
+#[must_use]
+pub fn conformance_corpus() -> Vec<Litmus> {
+    vec![
+        store_buffering(),
+        message_passing(),
+        load_buffering(),
+        iriw(),
+        coherence_rr(),
+        two_plus_two_w(),
+    ]
+}
+
+/// Renders the allowed-outcome sets of every corpus test under every
+/// model as stable, diff-friendly text — the golden-file format and the
+/// output of `mcsim oracle print`.
+#[must_use]
+pub fn render_allowed_sets(corpus: &[Litmus]) -> String {
+    let mut out = String::new();
+    for l in corpus {
+        for model in Model::ALL_EXTENDED {
+            let allowed = l.allowed_outcomes(model);
+            let _ = writeln!(
+                out,
+                "== {} @ {} ({} outcomes)",
+                l.name,
+                model.name(),
+                allowed.len()
+            );
+            out.push_str(&mcsim_oracle::format_outcomes(&allowed));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]

@@ -13,9 +13,11 @@
 //! Argument parsing is hand-rolled (the project's dependency policy keeps
 //! the tree to the sanctioned crates); see `mcsim --help`.
 
-use mcsim::sim::{format_table, run_matrix, Machine, MachineConfig, RunReport, SimError};
+use mcsim::sim::{
+    conformance_config, format_table, run_matrix, Machine, MachineConfig, RunReport, SimError,
+};
 use mcsim::trace::{chrome, csv, fig5, TraceEvent, TraceFilter};
-use mcsim::workloads::paper;
+use mcsim::workloads::{litmus, paper};
 use mcsim_consistency::Model;
 use mcsim_isa::asm;
 use mcsim_isa::Program;
@@ -34,9 +36,19 @@ USAGE:
     mcsim asm <program.s>                  assemble and echo the program
     mcsim check-json <file>                validate that a file parses as JSON
     mcsim models                           list supported consistency models
+    mcsim oracle print                     allowed-outcome sets of the litmus
+                                           corpus under every model (golden text)
+    mcsim oracle enumerate <program.s>... [--model M] [--mem addr=value]
+                                           enumerate the allowed final states
+    mcsim oracle check [--seeds <n>]       simulate the corpus across every
+                                           model x technique combination and
+                                           assert outcomes are oracle-allowed
+    mcsim oracle check-report <file.json> --litmus <name> [--model M]
+                                           check a saved RunReport against the
+                                           allowed set of a corpus litmus
 
 OPTIONS (run):
-    --model <SC|PC|WC|RCsc|RC>    consistency model        [default: SC]
+    --model <SC|TSO|PC|PSO|WC|RCsc|RC>  consistency model  [default: SC]
     --techniques <base|prefetch|spec|both>                 [default: both]
     --protocol <invalidate|update>                         [default: invalidate]
     --miss <cycles>               clean-miss latency (even) [default: 100]
@@ -46,6 +58,9 @@ OPTIONS (run):
     --workload <name>             built-in workload instead of .s files:
                                   figure5 (main + antagonist, primed caches),
                                   example1, example2
+    --litmus <name>               run a conformance-corpus litmus instead of
+                                  .s files (store-buffering, message-passing,
+                                  load-buffering, iriw, coherence-rr, 2+2w)
     --invariants <n|off>          invariant-check period in cycles; 0 = auto
                                   (every cycle in debug / strict builds,
                                   every 1024 in release)    [default: 0]
@@ -215,6 +230,7 @@ impl TraceFormat {
 struct RunOpts {
     files: Vec<String>,
     workload: Option<Workload>,
+    litmus: Option<litmus::Litmus>,
     cfg: MachineConfig,
     mem_init: Vec<(u64, u64)>,
     trace_path: Option<String>,
@@ -231,6 +247,7 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
     let mut o = RunOpts {
         files: Vec::new(),
         workload: None,
+        litmus: None,
         cfg: MachineConfig::paper_with(Model::Sc, Techniques::BOTH),
         mem_init: Vec::new(),
         trace_path: None,
@@ -289,6 +306,16 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
                 ));
             }
             "--workload" => o.workload = Some(Workload::parse(&value("--workload")?)?),
+            "--litmus" => {
+                let name = value("--litmus")?;
+                let corpus = litmus::conformance_corpus();
+                o.litmus = Some(corpus.iter().find(|l| l.name == name).cloned().ok_or_else(
+                    || {
+                        let names: Vec<&str> = corpus.iter().map(|l| l.name).collect();
+                        format!("unknown litmus `{name}` (corpus: {})", names.join(", "))
+                    },
+                )?);
+            }
             "--invariants" => {
                 let v = value("--invariants")?;
                 o.cfg.guard.invariant_period = if v == "off" {
@@ -335,14 +362,20 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         }
     }
     o.cfg.proc.techniques = o.cfg.techniques;
-    if o.workload.is_some() && !o.files.is_empty() {
-        return Err("give either --workload or program files, not both".into());
+    let sources = usize::from(o.workload.is_some())
+        + usize::from(o.litmus.is_some())
+        + usize::from(!o.files.is_empty());
+    if sources > 1 {
+        return Err("give one of --workload, --litmus, or program files".into());
     }
     Ok(o)
 }
 
 impl RunOpts {
     fn programs(&self) -> Result<Vec<Program>, String> {
+        if let Some(l) = &self.litmus {
+            return Ok(l.programs.clone());
+        }
         match self.workload {
             Some(w) => Ok(w.programs()),
             None => load_programs(&self.files),
@@ -357,6 +390,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     m.set_fast_forward(!o.no_fast_forward);
     if let Some(w) = o.workload {
         w.setup(&mut m);
+    }
+    if let Some(l) = &o.litmus {
+        for (a, v) in &l.init {
+            m.write_memory(*a, *v);
+        }
     }
     for (a, v) in &o.mem_init {
         m.write_memory(*a, *v);
@@ -460,6 +498,150 @@ fn cmd_check_json(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `mcsim oracle ...` — front-end for the execution-enumeration oracle.
+fn cmd_oracle(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("print") => {
+            print!(
+                "{}",
+                litmus::render_allowed_sets(&litmus::conformance_corpus())
+            );
+            Ok(())
+        }
+        Some("enumerate") => cmd_oracle_enumerate(&args[1..]),
+        Some("check") => cmd_oracle_check(&args[1..]),
+        Some("check-report") => cmd_oracle_check_report(&args[1..]),
+        _ => Err("oracle expects a mode: print, enumerate, check, check-report".into()),
+    }
+}
+
+fn cmd_oracle_enumerate(args: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut model = Model::Sc;
+    let mut mem_init: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => model = value("--model")?.parse::<Model>()?,
+            "--mem" => {
+                let v = value("--mem")?;
+                let (addr, val) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--mem expects addr=value, got `{v}`"))?;
+                mem_init.insert(
+                    parse_u64(addr).ok_or("bad --mem address")?,
+                    parse_u64(val).ok_or("bad --mem value")?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            file => files.push(file.to_string()),
+        }
+    }
+    let programs = load_programs(&files)?;
+    let r = mcsim::oracle::outcomes(
+        model,
+        &programs,
+        &mem_init,
+        mcsim::oracle::OracleConfig::default(),
+    );
+    if !r.complete {
+        return Err("state budget exceeded; outcome set would be incomplete".into());
+    }
+    println!("{} allowed final states under {}:", r.outcomes.len(), model);
+    print!("{}", mcsim::oracle::format_outcomes(&r.outcomes));
+    Ok(())
+}
+
+fn cmd_oracle_check(args: &[String]) -> Result<(), String> {
+    let mut seeds = 4u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                seeds = parse_u64(v).ok_or("bad --seeds value")?.max(1);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let corpus = litmus::conformance_corpus();
+    let mut cells = 0u64;
+    for l in &corpus {
+        for model in Model::ALL_EXTENDED {
+            for t in Techniques::ALL {
+                for seed in 0..seeds {
+                    let report = l.run(conformance_config(model, t, seed));
+                    if let Some(failure) = &report.failure {
+                        return Err(format!(
+                            "{} @ {model}/{} seed {seed}: {failure}",
+                            l.name,
+                            t.label()
+                        ));
+                    }
+                    if !l.is_allowed_under(model, &report) {
+                        return Err(format!(
+                            "{} @ {model}/{} seed {seed}: final state not in the allowed set",
+                            l.name,
+                            t.label()
+                        ));
+                    }
+                    cells += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "oracle check: {cells} runs ({} litmus x {} models x {} techniques x {seeds} seeds) all conformant",
+        corpus.len(),
+        Model::ALL_EXTENDED.len(),
+        Techniques::ALL.len()
+    );
+    Ok(())
+}
+
+fn cmd_oracle_check_report(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut name = None;
+    let mut model = Model::Sc;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--litmus" => name = Some(value("--litmus")?),
+            "--model" => model = value("--model")?.parse::<Model>()?,
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            file => path = Some(file.to_string()),
+        }
+    }
+    let path = path.ok_or("check-report expects a RunReport JSON file")?;
+    let name = name.ok_or("check-report needs --litmus <name>")?;
+    let corpus = litmus::conformance_corpus();
+    let l = corpus.iter().find(|l| l.name == name).ok_or_else(|| {
+        let names: Vec<&str> = corpus.iter().map(|l| l.name).collect();
+        format!("unknown litmus `{name}` (corpus: {})", names.join(", "))
+    })?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let report: RunReport =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid RunReport: {e}"))?;
+    if l.is_allowed_under(model, &report) {
+        println!("{path}: final state allowed for `{name}` under {model}");
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: final state NOT allowed for `{name}` under {model}"
+        ))
+    }
+}
+
 fn cmd_models() {
     for m in Model::ALL_EXTENDED {
         println!("{:<5} {}", m.name(), m.description());
@@ -490,6 +672,10 @@ fn main() -> ExitCode {
             Err(e) => fail(&e),
         },
         Some("check-json") => match cmd_check_json(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("oracle") => match cmd_oracle(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },

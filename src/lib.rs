@@ -15,7 +15,9 @@
 //! * [`trace`] — the structured event taxonomy, bounded ring sink, and
 //!   the Chrome / Figure-5 / CSV exporters.
 //! * [`sim`] — the multiprocessor machine, statistics, event traces, the
-//!   experiment harness and the SC oracle.
+//!   experiment harness.
+//! * [`oracle`] — the per-model execution-enumeration oracle: the
+//!   complete allowed-outcome sets litmus conformance is checked against.
 //! * [`guard`] — runtime verification: structured simulation errors,
 //!   invariant checks, the forward-progress watchdog, fault injection.
 //! * [`workloads`] — paper examples, litmus tests, and generators.
@@ -41,6 +43,7 @@ pub use mcsim_core as sim;
 pub use mcsim_guard as guard;
 pub use mcsim_isa as isa;
 pub use mcsim_mem as mem;
+pub use mcsim_oracle as oracle;
 pub use mcsim_proc as proc;
 pub use mcsim_trace as trace;
 pub use mcsim_workloads as workloads;

@@ -69,7 +69,7 @@ fn coherence_rr_holds_under_every_model() {
     // Per-location coherence: two reads of one location never go
     // backwards, even under the most relaxed model with full speculation.
     let l = litmus::coherence_rr();
-    for model in Model::ALL {
+    for model in Model::ALL_EXTENDED {
         for t in Techniques::ALL {
             let report = l.run(Cfg::paper_with(model, t));
             let (r1, r2) = (report.reg(1, R1), report.reg(1, R2));
@@ -134,7 +134,7 @@ fn random_drf_programs_are_sc_under_every_model() {
             programs: generators::random_drf(&params),
             init: BTreeMap::new(),
         };
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             for t in [Techniques::NONE, Techniques::BOTH] {
                 let report = l.run(Cfg::paper_with(model, t));
                 assert!(

@@ -58,7 +58,7 @@ proptest! {
             programs: generators::random_drf(&params),
             init: BTreeMap::new(),
         };
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             let report = l.run(Cfg::paper_with(model, Techniques::BOTH));
             prop_assert!(!report.timed_out);
             prop_assert!(
@@ -78,7 +78,7 @@ proptest! {
         let programs = generators::random_racy(&params);
         let expected = oracle::run_sequential(&programs[0], &BTreeMap::new());
         let mut base_cycles = None;
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             for t in Techniques::ALL {
                 let cfg = Cfg::paper_with(model, t);
                 let report = Machine::new(cfg, programs.clone()).run();
@@ -116,7 +116,7 @@ proptest! {
         // contended programs and the full model × technique matrix.
         let params = RandomParams { procs: 2, ops: 4, addrs: 3, seed };
         let programs = generators::random_racy(&params);
-        for model in Model::ALL {
+        for model in Model::ALL_EXTENDED {
             for t in Techniques::ALL {
                 let cfg = Cfg::paper_with(model, t);
                 let report = Machine::new(cfg, programs.clone()).run();
