@@ -70,7 +70,7 @@ impl Default for MachineConfig {
 /// serialized into sweep result artifacts) because it describes *how*
 /// the simulation ran, not *what* it computed — the report itself is
 /// bit-identical whichever way the cycles were covered.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RunTelemetry {
     /// Cycles simulated by a full [`Machine::step`].
     pub stepped_cycles: u64,

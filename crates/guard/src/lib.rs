@@ -236,6 +236,43 @@ impl fmt::Display for StallReport {
     }
 }
 
+/// Whether a failure is worth retrying.
+///
+/// The sweep supervisor uses this split to decide what a bounded retry
+/// can buy: a **deterministic** failure is a property of the simulated
+/// point itself (same spec + same seed ⇒ same failure, every time), so
+/// re-running it burns wall-clock to reproduce the same diagnostic. A
+/// **transient** failure comes from the *environment* the point ran in —
+/// a worker process killed by a signal (OOM killer, operator), a spawn
+/// or pipe error, a wall-clock deadline on an overloaded machine — and
+/// may well succeed on a clean re-execution of the identical point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// Reproducible from the point spec alone; retrying re-derives the
+    /// same failure, so the supervisor records it immediately.
+    Deterministic,
+    /// Environmental; a bounded retry of the *same* point (same seed,
+    /// same config) is justified.
+    Transient,
+}
+
+impl FailureClass {
+    /// Whether the supervisor's bounded retry applies.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        matches!(self, FailureClass::Transient)
+    }
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureClass::Deterministic => "deterministic",
+            FailureClass::Transient => "transient",
+        })
+    }
+}
+
 /// What went wrong.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SimErrorKind {
@@ -329,6 +366,24 @@ impl SimError {
         match &self.kind {
             SimErrorKind::Invariant { invariant, .. } => Some(*invariant),
             _ => None,
+        }
+    }
+
+    /// Classifies this failure for the retry policy.
+    ///
+    /// Every [`SimError`] is [`FailureClass::Deterministic`]: protocol
+    /// faults, invariant violations, and watchdog verdicts are all
+    /// functions of the simulated machine's state, which is itself a
+    /// pure function of the configuration and seed. The transient class
+    /// exists for *process-level* failures (a crashed or wedged worker),
+    /// which never reach this type — they have no simulated state to
+    /// report.
+    #[must_use]
+    pub fn class(&self) -> FailureClass {
+        match &self.kind {
+            SimErrorKind::Protocol { .. }
+            | SimErrorKind::Invariant { .. }
+            | SimErrorKind::NoProgress(_) => FailureClass::Deterministic,
         }
     }
 
@@ -630,6 +685,30 @@ mod tests {
         assert_eq!(h.count_up_to(7), 6);
         assert_eq!(h.count_up_to(8), 7);
         assert_eq!(h.count_up_to(u64::MAX), h.count());
+    }
+
+    #[test]
+    fn every_sim_error_is_deterministic_and_not_retryable() {
+        let errors = [
+            SimError::protocol(1, None, None, "x"),
+            SimError::invariant(2, None, None, InvariantKind::RobOrder, "y"),
+            SimError::no_progress(
+                3,
+                StallReport {
+                    class: StallClass::Deadlock,
+                    window: 10,
+                    since_cycle: 0,
+                    stalled: vec![],
+                },
+            ),
+        ];
+        for e in errors {
+            assert_eq!(e.class(), FailureClass::Deterministic, "{e}");
+            assert!(!e.class().retryable());
+        }
+        assert!(FailureClass::Transient.retryable());
+        assert_eq!(FailureClass::Transient.to_string(), "transient");
+        assert_eq!(FailureClass::Deterministic.to_string(), "deterministic");
     }
 
     #[test]

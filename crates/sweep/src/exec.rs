@@ -1,18 +1,31 @@
-//! The sharded executor.
+//! The sharded, crash-safe executor.
 //!
 //! Points are claimed from a shared atomic cursor by `jobs` scoped worker
 //! threads and executed independently; each point's record lands in its
 //! own pre-allocated slot, indexed by spec expansion order. Because a
 //! point's computation depends only on the point itself (config, programs
 //! and seed are all derived from the spec), the assembled rows are
-//! bit-identical no matter how many workers ran them or how the scheduler
-//! interleaved their claims — parallelism affects only wall-clock time.
+//! bit-identical no matter how many workers ran them, how the scheduler
+//! interleaved their claims, whether they ran in worker threads or in
+//! isolated child processes, or whether some of them were replayed from
+//! a journal — parallelism, isolation, and resume affect only wall-clock
+//! time.
+//!
+//! Crash safety: with a journal attached ([`ExecOptions::journal`]),
+//! every completed [`PointOutcome`] is appended and flushed as a JSON
+//! line the moment it finishes, so the on-disk artifact is always a
+//! valid partial result. [`ExecOptions::resume`] replays a journal,
+//! skips its completed points, executes only the remainder, and merges —
+//! the result is byte-identical to an uninterrupted run.
 //!
 //! Failure isolation: a point that exhausts its cycle budget, fails a
-//! guard check, or panics (e.g. a generator rejecting its parameters) is
-//! recorded as a failed cell ([`PointOutcome::TimedOut`] /
-//! [`PointOutcome::Failed`] / [`PointOutcome::Panicked`]) and the
-//! remaining points keep running.
+//! guard check, or panics is recorded as a failed cell
+//! ([`PointOutcome::TimedOut`] / [`PointOutcome::Failed`] /
+//! [`PointOutcome::Panicked`]) and the remaining points keep running.
+//! Under [`Isolation::Process`], even a worker that aborts, is
+//! OOM-killed, or wedges past its wall deadline is contained: the
+//! supervisor records [`PointOutcome::Crashed`] / [`PointOutcome::Wedged`]
+//! after its bounded transient retry and moves on.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -21,11 +34,14 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use mcsim_core::{Machine, RunTelemetry};
+use mcsim_guard::FaultKind;
 use mcsim_trace::TraceFilter;
 
-use crate::progress::ProgressState;
+use crate::journal::{self, JournalEntry, JournalWriter};
+use crate::progress::{fast_forward_speedup, ProgressState};
 use crate::result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
 use crate::spec::{SweepPoint, SweepSpec};
+use crate::supervise::{Isolation, RetryPolicy, Supervisor};
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -44,6 +60,38 @@ pub struct ExecOptions {
     /// `<dir>/point-<index>.trace.json`. Rows stay bit-identical: the
     /// trace is a side artifact, never part of the result.
     pub trace_dir: Option<PathBuf>,
+    /// Stream every completed point to this JSON-lines journal the
+    /// moment it finishes, making the sweep crash-safe: a killed run
+    /// leaves a valid partial result on disk.
+    pub journal: Option<PathBuf>,
+    /// Replay the journal first: points it completes (matched by
+    /// expansion index *and* content hash) are merged without
+    /// re-execution, and only the remainder runs. Requires
+    /// [`ExecOptions::journal`]; a missing journal file just means a
+    /// fresh start.
+    pub resume: bool,
+    /// Where points execute: worker threads (fast) or supervised child
+    /// processes (crash-proof).
+    pub isolation: Isolation,
+    /// Bounded retry for transient worker losses (process mode only).
+    pub retry: RetryPolicy,
+    /// Wall-clock budget per point attempt (process mode only); a child
+    /// still running at the deadline is killed and the point recorded
+    /// as [`PointOutcome::Wedged`] once retries are exhausted.
+    pub deadline: Duration,
+    /// Deterministic protocol fault injected into every point's guard
+    /// config (mutation-testing the robustness layer itself). Changes
+    /// what points compute, so it participates in the journal's spec
+    /// hash.
+    pub inject: Option<FaultKind>,
+    /// Worker executable for process isolation. `None` = the current
+    /// executable (correct when running as `mcsim-sweep`); tests point
+    /// this at the built binary.
+    pub worker_exe: Option<PathBuf>,
+    /// Extra environment for worker processes — the hook the tests and
+    /// CI use to inject *process-level* faults (aborts, hangs) into
+    /// workers deterministically.
+    pub worker_env: Vec<(String, String)>,
 }
 
 impl Default for ExecOptions {
@@ -53,6 +101,14 @@ impl Default for ExecOptions {
             progress: false,
             fast_forward: true,
             trace_dir: None,
+            journal: None,
+            resume: false,
+            isolation: Isolation::Thread,
+            retry: RetryPolicy::default(),
+            deadline: Duration::from_secs(300),
+            inject: None,
+            worker_exe: None,
+            worker_env: Vec::new(),
         }
     }
 }
@@ -64,28 +120,114 @@ const PROGRESS_PERIOD: Duration = Duration::from_millis(500);
 /// wall-clock telemetry.
 ///
 /// # Errors
-/// If the spec fails [`SweepSpec::validate`]; individual point failures
-/// are recorded in the rows, never returned as errors.
+/// If the spec fails [`SweepSpec::validate`], the options are
+/// inconsistent (`resume` without `journal`), or the journal cannot be
+/// read or written; individual point failures are recorded in the rows,
+/// never returned as errors.
 pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, String> {
     spec.validate()?;
     let points = spec.points();
-    let jobs = opts.jobs.max(1).min(points.len().max(1));
+    let hashes: Vec<String> = points.iter().map(journal::point_hash).collect();
+    let inject_label = opts.inject.map(|f| f.to_string());
     let started = Instant::now();
+
+    // Replay the journal, if resuming.
+    if opts.resume && opts.journal.is_none() {
+        return Err("resume requires a journal path".to_string());
+    }
+    let mut preloaded: Vec<Option<JournalEntry>> = (0..points.len()).map(|_| None).collect();
+    let mut resuming_existing = false;
+    if opts.resume {
+        let path = opts.journal.as_deref().expect("checked above");
+        if path.exists() {
+            let loaded = journal::load(path, spec, inject_label.as_deref(), &hashes)?;
+            if opts.progress && loaded.skipped_lines > 0 {
+                eprintln!(
+                    "[{}] journal: ignoring {} unusable line(s) (torn write or stale point)",
+                    spec.name, loaded.skipped_lines
+                );
+            }
+            preloaded = loaded.entries;
+            resuming_existing = true;
+        }
+    }
+
+    // Attach the journal writer: append when continuing an existing
+    // file, otherwise start fresh with a header.
+    let writer: Option<Mutex<JournalWriter>> = match &opts.journal {
+        Some(path) => Some(Mutex::new(if resuming_existing {
+            JournalWriter::append_to(path)?
+        } else {
+            JournalWriter::create(path, spec, inject_label.as_deref())?
+        })),
+        None => None,
+    };
+
+    // Process-isolation context, shared across worker threads.
+    let supervisor = match opts.isolation {
+        Isolation::Thread => None,
+        Isolation::Process => Some(Supervisor::new(
+            serde_json::to_string(spec).map_err(|e| e.to_string())?,
+            opts.worker_exe.clone(),
+            opts.deadline,
+            opts.retry,
+            opts.fast_forward,
+            opts.inject,
+            opts.trace_dir.clone(),
+            opts.worker_env.clone(),
+        )?),
+    };
+
+    let pending: Vec<usize> = (0..points.len())
+        .filter(|&i| preloaded[i].is_none())
+        .collect();
+    let jobs = opts.jobs.max(1).min(pending.len().max(1));
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<(PointRecord, f64, RunTelemetry)>>> =
         points.iter().map(|_| Mutex::new(None)).collect();
     let progress = ProgressState::new(points.len());
 
+    // Merge replayed entries first: their slots are final before any
+    // worker starts, and they are already on disk — never re-journaled.
+    let mut resumed_points = 0usize;
+    for (idx, entry) in preloaded.into_iter().enumerate() {
+        if let Some(entry) = entry {
+            progress.record_resumed(!entry.record.outcome.is_done());
+            *slots[idx].lock().expect("slot poisoned") = Some((entry.record, 0.0, entry.telemetry));
+            resumed_points += 1;
+        }
+    }
+
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(point) = points.get(idx) else { break };
+                let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = pending.get(claim) else {
+                    break;
+                };
+                let point = &points[idx];
                 let point_started = Instant::now();
-                let (record, telemetry) =
-                    run_point(point, idx, opts.fast_forward, opts.trace_dir.as_deref());
+                let (record, telemetry) = match &supervisor {
+                    None => execute_point(
+                        point,
+                        opts.fast_forward,
+                        opts.inject,
+                        opts.trace_dir.as_deref(),
+                    ),
+                    Some(sup) => sup.run_point(point, &hashes[idx]),
+                };
                 let wall = point_started.elapsed().as_secs_f64();
+                if let Some(w) = &writer {
+                    let entry = JournalEntry {
+                        hash: hashes[idx].clone(),
+                        record: record.clone(),
+                        telemetry,
+                    };
+                    if let Err(e) = w.lock().expect("journal poisoned").append(&entry) {
+                        eprintln!("[{}] {e}", spec.name);
+                    }
+                }
                 progress.record(
                     record.outcome.cycles().unwrap_or(0),
                     !record.outcome.is_done(),
@@ -112,7 +254,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
         let (record, wall, telemetry) = slot
             .into_inner()
             .expect("slot poisoned")
-            .expect("every point ran");
+            .expect("every point ran or was resumed");
         rows.push(record);
         point_seconds.push(wall);
         stepped_cycles += telemetry.stepped_cycles;
@@ -123,6 +265,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
     let sim_cycles: u64 = rows.iter().filter_map(|r| r.outcome.cycles()).sum();
     let timing = SweepTiming {
         jobs,
+        resumed_points,
         wall_seconds,
         point_seconds,
         points_per_second: if wall_seconds > 0.0 {
@@ -137,11 +280,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
         },
         stepped_cycles,
         skipped_cycles,
-        fast_forward_speedup: if stepped_cycles > 0 {
-            (stepped_cycles + skipped_cycles) as f64 / stepped_cycles as f64
-        } else {
-            1.0
-        },
+        fast_forward_speedup: fast_forward_speedup(stepped_cycles, skipped_cycles),
     };
     Ok(SweepRun {
         result: SweepResult {
@@ -152,18 +291,25 @@ pub fn run_sweep(spec: &SweepSpec, opts: &ExecOptions) -> Result<SweepRun, Strin
     })
 }
 
-/// Executes one grid point, converting timeouts and panics into failed
-/// outcomes. The returned telemetry is wall-clock bookkeeping only —
-/// the record is identical with fast-forwarding on or off.
-fn run_point(
+/// Executes one grid point in-process, converting timeouts and panics
+/// into failed outcomes. The returned telemetry is wall-clock
+/// bookkeeping only — the record is identical with fast-forwarding on
+/// or off. This is the single execution path shared by thread-mode
+/// workers and the `mcsim-sweep --point` child process.
+#[must_use]
+pub fn execute_point(
     point: &SweepPoint,
-    idx: usize,
     fast_forward: bool,
+    inject: Option<FaultKind>,
     trace_dir: Option<&std::path::Path>,
 ) -> (PointRecord, RunTelemetry) {
+    let idx = point.index;
     let (outcome, telemetry) = catch_unwind(AssertUnwindSafe(|| {
         let mut cfg = point.machine_config();
         cfg.trace |= trace_dir.is_some();
+        if inject.is_some() {
+            cfg.guard.fault = inject;
+        }
         let mut machine = Machine::new(cfg, point.workload.programs(point.seed));
         machine.set_fast_forward(fast_forward);
         point.workload.setup(&mut machine);
@@ -225,6 +371,10 @@ mod tests {
         spec
     }
 
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mcsim-exec-{name}-{}", std::process::id()))
+    }
+
     #[test]
     fn runs_every_point_in_order() {
         let spec = quick_spec();
@@ -232,10 +382,12 @@ mod tests {
         assert_eq!(run.result.rows.len(), 4);
         for (i, row) in run.result.rows.iter().enumerate() {
             assert_eq!(row.index, i);
+            assert_eq!(row.attempts, 1);
             assert!(row.outcome.is_done(), "row {i} failed: {:?}", row.outcome);
         }
         assert_eq!(run.timing.point_seconds.len(), 4);
         assert_eq!(run.timing.jobs, 1);
+        assert_eq!(run.timing.resumed_points, 0);
         // The paper's headline: techniques close most of SC's gap.
         let rows: Vec<&PointRecord> = run.result.rows.iter().collect();
         let sc_base = SweepResult::cycles_of(&rows, Model::Sc, Techniques::NONE).unwrap();
@@ -263,5 +415,69 @@ mod tests {
         spec.models.clear();
         let err = run_sweep(&spec, &ExecOptions::default()).unwrap_err();
         assert!(err.contains("models"));
+    }
+
+    #[test]
+    fn resume_without_journal_is_an_error() {
+        let spec = quick_spec();
+        let err = run_sweep(
+            &spec,
+            &ExecOptions {
+                resume: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("journal"), "{err}");
+    }
+
+    #[test]
+    fn journaled_run_is_replayable_without_any_execution() {
+        let spec = quick_spec();
+        let path = tmp("full-journal");
+        let _ = std::fs::remove_file(&path);
+        let full = run_sweep(
+            &spec,
+            &ExecOptions {
+                journal: Some(path.clone()),
+                ..ExecOptions::default()
+            },
+        )
+        .expect("valid spec");
+        // Resume from the complete journal: nothing left to run, and the
+        // merged result is identical.
+        let resumed = run_sweep(
+            &spec,
+            &ExecOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("valid spec");
+        assert_eq!(resumed.timing.resumed_points, 4);
+        assert_eq!(resumed.result, full.result);
+        assert_eq!(resumed.result.to_json(), full.result.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_with_missing_journal_starts_fresh() {
+        let spec = quick_spec();
+        let path = tmp("fresh-journal");
+        let _ = std::fs::remove_file(&path);
+        let run = run_sweep(
+            &spec,
+            &ExecOptions {
+                journal: Some(path.clone()),
+                resume: true,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("valid spec");
+        assert_eq!(run.timing.resumed_points, 0);
+        assert!(run.result.rows.iter().all(|r| r.outcome.is_done()));
+        assert!(path.exists(), "fresh journal must have been written");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -19,6 +19,14 @@
 //!   (invariant violation, protocol fault, watchdog), or panics becomes a
 //!   failed cell ([`PointOutcome::TimedOut`] / [`PointOutcome::Failed`] /
 //!   [`PointOutcome::Panicked`]); the rest of the grid keeps running.
+//! * Sweeps are **crash-safe**: every grid point is content-addressed
+//!   ([`journal::point_hash`]), completed points stream to a JSON-lines
+//!   journal the moment they finish, and `--resume` replays the journal
+//!   and executes only the remainder — byte-identical to an
+//!   uninterrupted run. `--isolate process` runs each point in a
+//!   supervised child process ([`supervise`]) with a wall deadline and
+//!   bounded, deterministic retry of transient worker losses, so even an
+//!   abort or OOM kill costs one cell, not the sweep.
 //!
 //! The named grids of EXPERIMENTS.md live in [`builtin`]; the
 //! `mcsim-sweep` binary runs either a built-in or a spec file.
@@ -28,14 +36,18 @@
 
 pub mod builtin;
 pub mod exec;
+pub mod journal;
 pub mod progress;
 pub mod result;
 pub mod spec;
+pub mod supervise;
 pub mod table;
 
 pub use builtin::{builtin, BUILTIN_NAMES};
-pub use exec::{run_sweep, ExecOptions};
-pub use progress::{ProgressSnapshot, ProgressState};
+pub use exec::{execute_point, run_sweep, ExecOptions};
+pub use journal::{point_hash, spec_hash, JournalEntry, JournalLine, JournalWriter};
+pub use progress::{fast_forward_speedup, ProgressSnapshot, ProgressState};
 pub use result::{PointMetrics, PointOutcome, PointRecord, SweepResult, SweepRun, SweepTiming};
 pub use spec::{derive_seed, MachineAxes, SweepPoint, SweepSpec, Window, WorkloadSpec};
+pub use supervise::{Isolation, RetryPolicy, Supervisor};
 pub use table::{format_table, markdown_table, model_spread, render_groups, TableCell};

@@ -7,6 +7,24 @@ use std::time::Instant;
 
 use mcsim_core::RunTelemetry;
 
+/// The fast-forward leverage ratio `(stepped + skipped) / stepped`,
+/// defined to be **finite for every input** so telemetry snapshots and
+/// timing JSON can never carry a NaN or infinity:
+///
+/// * nothing recorded yet (`0, 0`) → `1.0` (no skipping happened);
+/// * skipped cycles with zero stepped ones — possible when a view is
+///   taken between a worker's two counter bumps, or when every recorded
+///   point failed before stepping — divide by an imputed single stepped
+///   cycle instead of zero.
+#[must_use]
+pub fn fast_forward_speedup(stepped: u64, skipped: u64) -> f64 {
+    if stepped == 0 && skipped == 0 {
+        1.0
+    } else {
+        (stepped + skipped) as f64 / stepped.max(1) as f64
+    }
+}
+
 /// Shared counters for one sweep execution. Workers only ever add;
 /// the telemetry thread only ever reads.
 #[derive(Debug)]
@@ -14,6 +32,7 @@ pub struct ProgressState {
     total: usize,
     completed: AtomicUsize,
     failed: AtomicUsize,
+    resumed: AtomicUsize,
     sim_cycles: AtomicU64,
     stepped_cycles: AtomicU64,
     skipped_cycles: AtomicU64,
@@ -28,6 +47,7 @@ impl ProgressState {
             total,
             completed: AtomicUsize::new(0),
             failed: AtomicUsize::new(0),
+            resumed: AtomicUsize::new(0),
             sim_cycles: AtomicU64::new(0),
             stepped_cycles: AtomicU64::new(0),
             skipped_cycles: AtomicU64::new(0),
@@ -49,6 +69,17 @@ impl ProgressState {
         self.completed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one point replayed from a journal: counted as completed
+    /// (and failed, if its journaled outcome was a failure) but kept out
+    /// of the cycle-rate counters, which describe *this* execution.
+    pub fn record_resumed(&self, failed: bool) {
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough view for display (counters are relaxed; the
     /// completed count may trail the cycle total by a point).
     #[must_use]
@@ -67,6 +98,7 @@ impl ProgressState {
             total: self.total,
             completed,
             failed: self.failed.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
             elapsed_secs: elapsed,
             points_per_sec,
             sim_cycles_per_sec: if elapsed > 0.0 {
@@ -74,11 +106,7 @@ impl ProgressState {
             } else {
                 0.0
             },
-            fast_forward_speedup: if stepped > 0 {
-                (stepped + skipped) as f64 / stepped as f64
-            } else {
-                1.0
-            },
+            fast_forward_speedup: fast_forward_speedup(stepped, skipped),
             eta_secs: if points_per_sec > 0.0 {
                 remaining as f64 / points_per_sec
             } else {
@@ -99,10 +127,13 @@ impl ProgressState {
 pub struct ProgressSnapshot {
     /// Grid size.
     pub total: usize,
-    /// Points finished (any outcome).
+    /// Points finished (any outcome), including resumed ones.
     pub completed: usize,
-    /// Points that timed out or panicked.
+    /// Points that timed out, failed a guard check, panicked, or lost
+    /// their worker process.
     pub failed: usize,
+    /// Points replayed from a journal rather than executed.
+    pub resumed: usize,
     /// Wall seconds since the sweep started.
     pub elapsed_secs: f64,
     /// Completion rate.
@@ -119,10 +150,15 @@ impl std::fmt::Display for ProgressSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}/{} points ({} failed) | {:.1} pts/s | {:.2}M sim-cycles/s | {:.1}x ff | ETA {}",
+            "{}/{} points ({} failed{}) | {:.1} pts/s | {:.2}M sim-cycles/s | {:.1}x ff | ETA {}",
             self.completed,
             self.total,
             self.failed,
+            if self.resumed > 0 {
+                format!(", {} resumed", self.resumed)
+            } else {
+                String::new()
+            },
             self.points_per_sec,
             self.sim_cycles_per_sec / 1e6,
             self.fast_forward_speedup,
@@ -161,6 +197,46 @@ mod tests {
         assert!(s.eta_secs.abs() < 1e-9);
         // 150 total machine cycles, 110 stepped.
         assert!((s.fast_forward_speedup - 150.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio_is_finite_for_every_input() {
+        // The regression this pins: a view taken before any stepped
+        // cycles are recorded must not divide by zero — telemetry (and
+        // the timing JSON it feeds) must never contain NaN or inf.
+        assert_eq!(fast_forward_speedup(0, 0), 1.0);
+        assert_eq!(fast_forward_speedup(0, 500), 500.0);
+        assert_eq!(fast_forward_speedup(100, 0), 1.0);
+        assert_eq!(fast_forward_speedup(100, 900), 10.0);
+        for (stepped, skipped) in [(0, 0), (0, 7), (3, 0), (u64::MAX / 2, u64::MAX / 2)] {
+            let s = fast_forward_speedup(stepped, skipped);
+            assert!(s.is_finite(), "({stepped},{skipped}) -> {s}");
+        }
+    }
+
+    #[test]
+    fn early_snapshot_is_finite_and_renderable() {
+        let p = ProgressState::new(4);
+        let s = p.snapshot(); // before any record()
+        assert!(s.fast_forward_speedup.is_finite());
+        assert!(s.points_per_sec.is_finite());
+        assert!(s.sim_cycles_per_sec.is_finite());
+        let line = s.to_string();
+        assert!(line.contains("0/4 points"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn resumed_points_count_as_completed_not_rate() {
+        let p = ProgressState::new(3);
+        p.record_resumed(false);
+        p.record_resumed(true);
+        p.record(50, false, &telemetry(10, 40));
+        assert!(p.done());
+        let s = p.snapshot();
+        assert_eq!((s.completed, s.failed, s.resumed), (3, 1, 2));
+        let line = s.to_string();
+        assert!(line.contains("2 resumed"), "{line}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use mcsim_consistency::Model;
 use mcsim_core::RunReport;
-use mcsim_guard::SimError;
+use mcsim_guard::{FailureClass, SimError};
 use mcsim_mem::Protocol;
 use mcsim_proc::Techniques;
 use serde::{Deserialize, Serialize};
@@ -120,6 +120,21 @@ pub enum PointOutcome {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// An isolated worker *process* died without reporting a record —
+    /// killed by a signal (abort, OOM killer), a spawn failure, or
+    /// garbled output. Only possible under `--isolate process`, and only
+    /// recorded once the bounded transient retry is exhausted.
+    Crashed {
+        /// What the supervisor observed.
+        message: String,
+    },
+    /// An isolated worker exceeded its wall-clock deadline and was
+    /// killed by the supervisor. Carries the *configured* deadline (not
+    /// a measurement) so records stay deterministic.
+    Wedged {
+        /// The per-point wall deadline, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl PointOutcome {
@@ -146,6 +161,38 @@ impl PointOutcome {
     pub fn is_done(&self) -> bool {
         matches!(self, PointOutcome::Done(_))
     }
+
+    /// The short `outcome` tag used in CSV rows and summaries.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PointOutcome::Done(_) => "done",
+            PointOutcome::TimedOut { .. } => "timeout",
+            PointOutcome::Failed { .. } => "failed",
+            PointOutcome::Panicked { .. } => "panic",
+            PointOutcome::Crashed { .. } => "crash",
+            PointOutcome::Wedged { .. } => "wedged",
+        }
+    }
+
+    /// Retry classification: `None` for a completed point, otherwise
+    /// whether the failure is environmental (worth the supervisor's
+    /// bounded retry) or a deterministic property of the point itself.
+    #[must_use]
+    pub fn failure_class(&self) -> Option<FailureClass> {
+        match self {
+            PointOutcome::Done(_) => None,
+            // Simulated failures reproduce from the spec + seed alone.
+            PointOutcome::TimedOut { .. } | PointOutcome::Panicked { .. } => {
+                Some(FailureClass::Deterministic)
+            }
+            PointOutcome::Failed { error } => Some(error.class()),
+            // Process-level failures are environmental.
+            PointOutcome::Crashed { .. } | PointOutcome::Wedged { .. } => {
+                Some(FailureClass::Transient)
+            }
+        }
+    }
 }
 
 /// One grid point's coordinates and outcome — a self-describing result
@@ -168,12 +215,17 @@ pub struct PointRecord {
     pub model: Model,
     /// Technique combination.
     pub techniques: Techniques,
+    /// Executions this record took: 1 for a first-try outcome (always,
+    /// outside `--isolate process`), more when the supervisor's bounded
+    /// retry re-ran the point after a transient worker failure. Retries
+    /// always re-run the *identical* point — same seed, same config.
+    pub attempts: u32,
     /// How the run ended.
     pub outcome: PointOutcome,
 }
 
 impl PointRecord {
-    /// Builds the row for a point and its outcome.
+    /// Builds the row for a point and its outcome (first attempt).
     #[must_use]
     pub fn new(point: &SweepPoint, outcome: PointOutcome) -> Self {
         PointRecord {
@@ -185,6 +237,7 @@ impl PointRecord {
             window: point.window,
             model: point.model,
             techniques: point.techniques,
+            attempts: 1,
             outcome,
         }
     }
@@ -243,24 +296,34 @@ impl SweepResult {
         serde_json::from_str(s)
     }
 
+    /// CSV columns that identify the point (everything before the
+    /// outcome tag).
+    pub const CSV_KEY_COLUMNS: &'static str =
+        "index,workload,protocol,miss_latency,window,model,techniques,seed,attempts,outcome";
+
+    /// CSV columns carrying [`PointMetrics`], empty on failed rows. The
+    /// failure-row pad is *derived* from this list, so adding a metric
+    /// column can never leave failed rows ragged.
+    pub const CSV_METRIC_COLUMNS: &'static str =
+        "cycles,committed,loads,stores,speculative_loads,rollbacks,reissues,\
+         squashed_by_spec,prefetches_issued,prefetches_useful,demand_merges,\
+         demand_misses,dir_queue_cycles,busy_cycles,read_stall_cycles,\
+         write_stall_cycles,acquire_stall_cycles,rollback_stall_cycles,\
+         fetch_stall_cycles";
+
     /// Renders rows as CSV: one line per point, stable flat columns,
     /// empty metric cells for failed points plus a textual `outcome`
-    /// column (`done` / `timeout` / `failed` / `panic`).
+    /// column (`done` / `timeout` / `failed` / `panic` / `crash` /
+    /// `wedged`).
     #[must_use]
     pub fn to_csv(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "index,workload,protocol,miss_latency,window,model,techniques,seed,outcome,\
-             cycles,committed,loads,stores,speculative_loads,rollbacks,reissues,\
-             squashed_by_spec,prefetches_issued,prefetches_useful,demand_merges,\
-             demand_misses,dir_queue_cycles,busy_cycles,read_stall_cycles,\
-             write_stall_cycles,acquire_stall_cycles,rollback_stall_cycles,\
-             fetch_stall_cycles\n",
-        );
+        let metric_columns = Self::CSV_METRIC_COLUMNS.split(',').count();
+        let mut out = format!("{},{}\n", Self::CSV_KEY_COLUMNS, Self::CSV_METRIC_COLUMNS);
         for r in &self.rows {
             let _ = write!(
                 out,
-                "{},{},{:?},{},{},{},{},{},",
+                "{},{},{:?},{},{},{},{},{},{},{}",
                 r.index,
                 csv_field(&r.workload),
                 r.protocol,
@@ -269,42 +332,35 @@ impl SweepResult {
                 r.model.name(),
                 r.techniques.label(),
                 r.seed,
+                r.attempts,
+                r.outcome.tag(),
             );
-            match &r.outcome {
-                PointOutcome::Done(m) => {
-                    let _ = writeln!(
-                        out,
-                        "done,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                        m.cycles,
-                        m.committed,
-                        m.loads,
-                        m.stores,
-                        m.speculative_loads,
-                        m.rollbacks,
-                        m.reissues,
-                        m.squashed_by_spec,
-                        m.prefetches_issued,
-                        m.prefetches_useful,
-                        m.demand_merges,
-                        m.demand_misses,
-                        m.dir_queue_cycles,
-                        m.busy_cycles,
-                        m.read_stall_cycles,
-                        m.write_stall_cycles,
-                        m.acquire_stall_cycles,
-                        m.rollback_stall_cycles,
-                        m.fetch_stall_cycles,
-                    );
-                }
-                PointOutcome::TimedOut { .. } => {
-                    let _ = writeln!(out, "timeout{}", ",".repeat(19));
-                }
-                PointOutcome::Failed { .. } => {
-                    let _ = writeln!(out, "failed{}", ",".repeat(19));
-                }
-                PointOutcome::Panicked { .. } => {
-                    let _ = writeln!(out, "panic{}", ",".repeat(19));
-                }
+            if let PointOutcome::Done(m) = &r.outcome {
+                let _ = writeln!(
+                    out,
+                    ",{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    m.cycles,
+                    m.committed,
+                    m.loads,
+                    m.stores,
+                    m.speculative_loads,
+                    m.rollbacks,
+                    m.reissues,
+                    m.squashed_by_spec,
+                    m.prefetches_issued,
+                    m.prefetches_useful,
+                    m.demand_merges,
+                    m.demand_misses,
+                    m.dir_queue_cycles,
+                    m.busy_cycles,
+                    m.read_stall_cycles,
+                    m.write_stall_cycles,
+                    m.acquire_stall_cycles,
+                    m.rollback_stall_cycles,
+                    m.fetch_stall_cycles,
+                );
+            } else {
+                let _ = writeln!(out, "{}", ",".repeat(metric_columns));
             }
         }
         out
@@ -327,6 +383,9 @@ fn csv_field(s: &str) -> String {
 pub struct SweepTiming {
     /// Worker threads used.
     pub jobs: usize,
+    /// Points replayed from a journal instead of executed (0 outside
+    /// `--resume`).
+    pub resumed_points: usize,
     /// End-to-end wall time in seconds.
     pub wall_seconds: f64,
     /// Per-point wall time in seconds, in expansion order.
@@ -403,6 +462,92 @@ mod tests {
         for line in csv.lines().skip(1) {
             assert_eq!(line.split(',').count(), cols, "ragged CSV line: {line}");
         }
+    }
+
+    #[test]
+    fn csv_failure_pad_tracks_header_schema_for_every_outcome() {
+        // The failure-row pad is derived from CSV_METRIC_COLUMNS, so the
+        // header and every non-done row must agree on column count by
+        // construction — this pins it against schema drift.
+        let header_cols = 1
+            + SweepResult::CSV_KEY_COLUMNS.matches(',').count()
+            + 1
+            + SweepResult::CSV_METRIC_COLUMNS.matches(',').count();
+        let mut r = demo_result();
+        let outcomes = [
+            PointOutcome::TimedOut { cycles: 7 },
+            PointOutcome::Failed {
+                error: SimError::protocol(1, None, None, "x"),
+            },
+            PointOutcome::Panicked {
+                message: "boom".into(),
+            },
+            PointOutcome::Crashed {
+                message: "signal: 6".into(),
+            },
+            PointOutcome::Wedged { deadline_ms: 500 },
+        ];
+        for outcome in outcomes {
+            let tag = outcome.tag();
+            r.rows[0].outcome = outcome;
+            let csv = r.to_csv();
+            let header = csv.lines().next().unwrap();
+            assert_eq!(header.split(',').count(), header_cols);
+            let row = csv.lines().nth(1).unwrap();
+            assert_eq!(
+                row.split(',').count(),
+                header_cols,
+                "{tag} row out of sync with header: {row}"
+            );
+            assert!(row.contains(&format!(",{tag},")), "{row}");
+        }
+    }
+
+    #[test]
+    fn failure_class_separates_environmental_from_simulated() {
+        use mcsim_guard::FailureClass;
+        assert_eq!(demo_result().rows[0].outcome.failure_class(), None);
+        assert_eq!(
+            PointOutcome::TimedOut { cycles: 1 }.failure_class(),
+            Some(FailureClass::Deterministic)
+        );
+        assert_eq!(
+            PointOutcome::Failed {
+                error: SimError::protocol(1, None, None, "x")
+            }
+            .failure_class(),
+            Some(FailureClass::Deterministic)
+        );
+        assert_eq!(
+            PointOutcome::Panicked {
+                message: "p".into()
+            }
+            .failure_class(),
+            Some(FailureClass::Deterministic)
+        );
+        assert_eq!(
+            PointOutcome::Crashed {
+                message: "c".into()
+            }
+            .failure_class(),
+            Some(FailureClass::Transient)
+        );
+        assert_eq!(
+            PointOutcome::Wedged { deadline_ms: 1 }.failure_class(),
+            Some(FailureClass::Transient)
+        );
+    }
+
+    #[test]
+    fn process_failure_outcomes_round_trip_and_record_attempts() {
+        let mut r = demo_result();
+        r.rows[0].attempts = 3;
+        r.rows[0].outcome = PointOutcome::Wedged { deadline_ms: 250 };
+        let back = SweepResult::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.rows[0].attempts, 3);
+        let csv = r.to_csv();
+        assert!(csv.lines().nth(1).unwrap().contains(",3,wedged,"), "{csv}");
     }
 
     #[test]

@@ -296,7 +296,12 @@ impl SweepSpec {
 
 /// One fully instantiated grid point, self-contained: everything needed
 /// to run it (and nothing about when or where it runs).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the point has a *canonical form*: the journal layer
+/// content-addresses each point by hashing its canonical JSON (see
+/// [`crate::journal::point_hash`]), which is what lets a resumed or
+/// process-isolated sweep prove it is completing the same computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Position in the spec's expansion order.
     pub index: usize,
